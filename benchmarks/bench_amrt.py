@@ -1,0 +1,62 @@
+"""Lemma 5.3 — the AMRT online algorithm vs the offline optimum.
+
+Regenerates the competitive picture: the 2x response bound in the
+steady regime (guess warmed to rho*), the ramp-up cost of the cold
+start, and the capacity usage against the 2 (c_p + 2 d_max - 1) bound.
+
+Run:  pytest benchmarks/bench_amrt.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mrt.algorithm import solve_mrt
+from repro.online.amrt import run_amrt
+from repro.workloads.synthetic import incast_workload, poisson_uniform_workload
+
+
+def test_competitive_table(capsys, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for load in (0.5, 1.0, 2.0):
+        inst = poisson_uniform_workload(8, load * 8, 8, seed=int(load * 7))
+        off = solve_mrt(inst)
+        cold = run_amrt(inst)
+        warm = run_amrt(inst, initial_rho=off.rho)
+        rows.append(
+            (
+                f"load {load:g}",
+                off.rho,
+                cold.metrics.max_response,
+                warm.metrics.max_response,
+                1 + warm.max_port_usage,
+            )
+        )
+        # Lemma 5.3 guarantees in the warmed regime.
+        assert warm.metrics.max_response <= 2 * off.rho
+        assert 1 + warm.max_port_usage <= 2 * (1 + 2 * inst.max_demand - 1)
+    with capsys.disabled():
+        print("\nAMRT vs offline (Lemma 5.3)")
+        print(f"{'workload':>10} {'rho*':>5} {'cold':>5} {'warm':>5} "
+              f"{'usage':>6}")
+        for name, rho, cold, warm, usage in rows:
+            print(f"{name:>10} {rho:>5} {cold:>5} {warm:>5} {usage:>6}")
+
+
+def test_incast_bursts(capsys, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    inst = incast_workload(8, fan_in=6, num_bursts=4, gap=3, seed=1)
+    off = solve_mrt(inst)
+    warm = run_amrt(inst, initial_rho=off.rho)
+    assert warm.metrics.max_response <= 2 * off.rho
+    with capsys.disabled():
+        print(
+            f"\nincast: rho*={off.rho} warm AMRT={warm.metrics.max_response}"
+        )
+
+
+@pytest.mark.parametrize("load", [0.5, 1.0])
+def test_bench_amrt(benchmark, load):
+    inst = poisson_uniform_workload(8, load * 8, 6, seed=3)
+    benchmark.pedantic(lambda: run_amrt(inst), rounds=2, iterations=1)

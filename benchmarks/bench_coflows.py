@@ -1,0 +1,57 @@
+"""Co-flow extension — SEBF vs FIFO vs flow-level heuristics.
+
+Not a paper figure (the paper defers co-flows to future work, §6); this
+bench documents the co-flow layer built on the library: the Varys-style
+SEBF policy should dominate co-flow-oblivious scheduling on average
+co-flow response across shuffle workloads.
+
+Run:  pytest benchmarks/bench_coflows.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coflow import make_coflow_policy, simulate_coflows
+from repro.coflow.model import random_shuffle_coflows
+from repro.online.policies import make_policy
+
+
+def test_coflow_policy_comparison(capsys, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    policies = ("SEBF", "CoflowFIFO", "MaxCard", "MaxWeight")
+    sums = {name: 0.0 for name in policies}
+    trials = 6
+    for seed in range(trials):
+        cf = random_shuffle_coflows(
+            10, 8, width_range=(2, 4), arrival_gap=2, seed=seed
+        )
+        for name in policies:
+            policy = (
+                make_coflow_policy(name, cf)
+                if name in ("SEBF", "CoflowFIFO")
+                else make_policy(name)
+            )
+            res = simulate_coflows(cf, policy)
+            sums[name] += res.coflow_metrics.average_response
+    means = {name: total / trials for name, total in sums.items()}
+    with capsys.disabled():
+        print("\nCo-flow average response (mean over shuffle workloads)")
+        for name in policies:
+            print(f"  {name:>12}: {means[name]:6.2f}")
+    # The headline shape: co-flow awareness helps at the co-flow level.
+    assert means["SEBF"] <= means["MaxCard"] + 1e-9
+
+
+def test_bench_sebf_simulation(benchmark):
+    cf = random_shuffle_coflows(10, 8, width_range=(2, 4), seed=0)
+    policy = make_coflow_policy("SEBF", cf)
+    benchmark.pedantic(
+        lambda: simulate_coflows(cf, policy), rounds=3, iterations=1
+    )
+
+
+def test_bench_shuffle_generation(benchmark):
+    benchmark(
+        lambda: random_shuffle_coflows(12, 10, width_range=(2, 5), seed=1)
+    )

@@ -1,0 +1,72 @@
+"""Figure 4 — online lower-bound constructions (Lemmas 5.1 and 5.2).
+
+Regenerates the adversarial gaps: the unbounded average-response ratio
+of Figure 4(a) as M grows, and the 3-vs-2 maximum-response gap of
+Figure 4(b), for every heuristic.
+
+Run:  pytest benchmarks/bench_fig4_lower_bounds.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mrt.exact import exact_min_max_response
+from repro.online.lower_bounds import (
+    adaptive_figure4a_ratio,
+    adaptive_figure4b_max_response,
+    figure4a_instance,
+    figure4b_instance,
+)
+from repro.online.policies import make_policy
+from repro.online.simulator import simulate
+
+POLICIES = ("MaxCard", "MinRTime", "MaxWeight")
+
+
+def test_fig4a_ratio_series(capsys, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Lemma 5.1: the competitive ratio diverges with M."""
+    rows = []
+    for policy_name in POLICIES:
+        series = []
+        for M in (40, 100, 250):
+            _, _, ratio = adaptive_figure4a_ratio(
+                make_policy(policy_name), T=8, M=M
+            )
+            series.append(ratio)
+        rows.append((policy_name, series))
+        # Monotone divergence (allowing small-sample noise at the start).
+        assert series[-1] > series[0]
+    with capsys.disabled():
+        print("\nFigure 4(a) — avg-response competitive ratio vs M "
+              "(T=8, adaptive adversary)")
+        print(f"{'policy':>10} | {'M=40':>8} {'M=100':>8} {'M=250':>8}")
+        for name, series in rows:
+            print(f"{name:>10} | " + " ".join(f"{r:8.2f}" for r in series))
+
+
+def test_fig4b_gap(capsys, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Lemma 5.2: every policy forced to 3 while OPT = 2."""
+    opt = exact_min_max_response(figure4b_instance())
+    assert opt == 2
+    results = {}
+    for policy_name in POLICIES + ("FIFO",):
+        got = adaptive_figure4b_max_response(make_policy(policy_name))
+        results[policy_name] = got
+        assert got >= 3
+    with capsys.disabled():
+        print("\nFigure 4(b) — max response vs OPT=2 (adaptive adversary)")
+        for name, got in results.items():
+            print(f"  {name:>10}: {got}  (ratio {got / opt:.2f} >= 3/2)")
+
+
+@pytest.mark.parametrize("policy_name", POLICIES)
+def test_bench_fig4a_simulation(benchmark, policy_name):
+    inst = figure4a_instance(T=8, M=100)
+    benchmark.pedantic(
+        lambda: simulate(inst, make_policy(policy_name)),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,73 @@
+"""Figure 6 — average response time of online heuristics vs LP (1)-(4).
+
+Regenerates the paper's Figure 6 series: for every arrival mean M
+(per-port loads 1/3 .. 4) and generation length T, the average response
+time of MaxCard / MinRTime / MaxWeight and the LP lower bound.  The
+printed panels are the reproduction artifact; the benchmark timings
+document the cost of each pipeline stage.
+
+Run:  pytest benchmarks/bench_fig6_avg_response.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_config
+from repro.art.lp_relaxation import art_lp_lower_bound
+from repro.experiments.fig6 import render_fig6
+from repro.online.policies import make_policy
+from repro.online.simulator import simulate
+from repro.workloads.synthetic import poisson_uniform_workload
+
+
+def test_fig6_series(shared_sweep, capsys, benchmark):
+    """Print the full Figure 6 reproduction and check its key shapes."""
+    text = benchmark.pedantic(
+        lambda: render_fig6(shared_sweep), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(text)
+    config = shared_sweep.config
+    for mean in config.arrival_means():
+        for rounds in config.generation_rounds:
+            cell = shared_sweep.cell(mean, rounds)
+            if cell.lp_avg_bound is None:
+                continue
+            # Paper finding: every heuristic within ~2x of the LP bound.
+            for policy in config.policies:
+                assert cell.avg_response[policy] >= cell.lp_avg_bound - 1e-9
+                assert cell.avg_response[policy] <= 4.0 * max(
+                    cell.lp_avg_bound, 1.0
+                )
+
+
+def test_bench_simulate_maxweight(benchmark):
+    """Per-instance simulation cost of the best avg-response heuristic."""
+    config = bench_config()
+    inst = poisson_uniform_workload(
+        config.num_ports, config.num_ports, 10, seed=1
+    )
+    benchmark(lambda: simulate(inst, make_policy("MaxWeight")))
+
+
+def test_bench_simulate_maxcard(benchmark):
+    config = bench_config()
+    inst = poisson_uniform_workload(
+        config.num_ports, config.num_ports, 10, seed=1
+    )
+    benchmark(lambda: simulate(inst, make_policy("MaxCard")))
+
+
+def test_bench_lp_avg_lower_bound(benchmark):
+    """Cost of one LP (1)-(4) solve (the paper's 3h bottleneck, scaled)."""
+    config = bench_config()
+    inst = poisson_uniform_workload(
+        config.num_ports, config.num_ports, 6, seed=2
+    )
+    benchmark.pedantic(
+        lambda: art_lp_lower_bound(
+            inst, horizon=inst.compact_horizon_bound()
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,55 @@
+"""Theorem 2 — the RTT -> FS-MRT reduction at scale.
+
+Measures the gadget construction cost and verifies the 3-vs-4 gap on a
+batch of random RTT instances (the empirical counterpart of the 4/3
+inapproximability bound).
+
+Run:  pytest benchmarks/bench_hardness.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mrt.exact import exact_min_max_response
+from repro.mrt.hardness import (
+    enumerate_small_rtt_instances,
+    reduce_rtt_to_fsmrt,
+    solve_rtt_bruteforce,
+)
+
+
+def test_gap_statistics(capsys, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Across all 2-teacher/3-class RTT instances (sampled): feasible ->
+    OPT = 3, infeasible -> OPT >= 4; nothing in between."""
+    rng = np.random.default_rng(2020)
+    instances = enumerate_small_rtt_instances(2, 3)
+    idx = rng.choice(len(instances), size=40, replace=False)
+    feasible = infeasible = 0
+    for i in idx:
+        rtt = instances[int(i)]
+        art = reduce_rtt_to_fsmrt(rtt)
+        opt = exact_min_max_response(art.instance)
+        if solve_rtt_bruteforce(rtt) is not None:
+            assert opt <= 3
+            feasible += 1
+        else:
+            assert opt >= 4
+            infeasible += 1
+    with capsys.disabled():
+        print(
+            f"\nTheorem 2 gap check: {feasible} feasible (OPT=3), "
+            f"{infeasible} infeasible (OPT>=4) out of {feasible+infeasible}"
+        )
+    assert feasible > 0  # both sides exercised
+
+
+def test_bench_reduction_construction(benchmark):
+    instances = enumerate_small_rtt_instances(2, 3)
+    benchmark(lambda: [reduce_rtt_to_fsmrt(r) for r in instances[:50]])
+
+
+def test_bench_rtt_bruteforce(benchmark):
+    instances = enumerate_small_rtt_instances(2, 3)[:50]
+    benchmark(lambda: [solve_rtt_bruteforce(r) for r in instances])

@@ -1,0 +1,96 @@
+"""Theorem 1 pipeline — FS-ART offline algorithm ablation.
+
+Not a paper figure (the paper evaluates only the online heuristics), but
+the offline algorithm is the headline contribution; this bench measures
+the capacity/response trade-off across the augmentation parameter c and
+the cost of each pipeline stage (LP(0), iterative rounding, conversion).
+
+Run:  pytest benchmarks/bench_offline_art.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.art.algorithm import solve_art
+from repro.art.iterative_rounding import iterative_rounding
+from repro.art.lp_relaxation import art_lp_lower_bound
+from repro.workloads.synthetic import poisson_uniform_workload
+
+_PORTS, _MEAN, _ROUNDS = 8, 8, 8
+
+
+def _instance(seed=5):
+    return poisson_uniform_workload(_PORTS, _MEAN, _ROUNDS, seed=seed)
+
+
+def test_c_sweep_trade_off(capsys, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Theorem 1 ablation: larger c -> smaller window -> less delay but
+    more capacity."""
+    inst = _instance()
+    rows = []
+    for c in (1, 2, 4):
+        res = solve_art(inst, c=c)
+        rows.append(
+            (
+                c,
+                res.conversion.window,
+                res.conversion.capacity_factor,
+                res.total_response / inst.num_flows,
+                res.lower_bound / inst.num_flows,
+            )
+        )
+    with capsys.disabled():
+        print("\nTheorem 1 trade-off (n = %d flows)" % inst.num_flows)
+        print(f"{'c':>3} {'window':>7} {'cap factor':>11} "
+              f"{'avg rt':>8} {'LP bound':>9}")
+        for c, h, k, avg, lb in rows:
+            print(f"{c:>3} {h:>7} {k:>11} {avg:>8.2f} {lb:>9.2f}")
+    # Window shrinks (weakly) with c.
+    assert rows[-1][1] <= rows[0][1]
+    # All runs upper-bound the LP.
+    for _, _, _, avg, lb in rows:
+        assert avg >= lb - 1e-9
+
+
+def test_pseudo_schedule_overload_logarithmic(capsys, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Lemma 3.3 shape: overload constant vs n (should grow ~ log n)."""
+    import math
+
+    rows = []
+    for rounds, seed in ((4, 1), (8, 2), (16, 3)):
+        inst = poisson_uniform_workload(_PORTS, _MEAN, rounds, seed=seed)
+        ps = iterative_rounding(inst)
+        rows.append((inst.num_flows, ps.max_window_overload(), ps.iterations))
+    with capsys.disabled():
+        print("\nLemma 3.3 overload vs n")
+        print(f"{'n':>6} {'overload':>9} {'log2 n':>7} {'iters':>6}")
+        for n, ov, iters in rows:
+            print(f"{n:>6} {ov:>9.1f} {math.log2(n):>7.1f} {iters:>6}")
+    for n, overload, _ in rows:
+        assert overload <= 10 * math.log2(n + 2) + 10
+
+
+def test_bench_iterative_rounding(benchmark):
+    inst = _instance()
+    benchmark.pedantic(lambda: iterative_rounding(inst), rounds=3, iterations=1)
+
+
+def test_bench_art_lower_bound(benchmark):
+    inst = _instance()
+    benchmark.pedantic(
+        lambda: art_lp_lower_bound(inst, horizon=inst.compact_horizon_bound()),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_bench_solve_art_end_to_end(benchmark):
+    inst = _instance()
+    benchmark.pedantic(
+        lambda: solve_art(inst, c=1, compute_lower_bound=False),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,74 @@
+"""Theorem 3 pipeline — FS-MRT offline algorithm ablation.
+
+Measures (i) that the achieved additive capacity violation stays within
+the guaranteed ``2 d_max - 1`` across demand scales, and (ii) the cost
+of the binary search + rounding as instances grow.
+
+Run:  pytest benchmarks/bench_offline_mrt.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.flow import Flow
+from repro.core.instance import Instance
+from repro.core.metrics import max_response_time
+from repro.core.switch import Switch
+from repro.mrt.algorithm import solve_mrt
+from repro.workloads.synthetic import poisson_uniform_workload
+
+
+def _demand_instance(d_max: int, seed: int = 0, m: int = 6, n: int = 24):
+    rng = np.random.default_rng(seed)
+    sw = Switch.create(m, m, d_max)
+    flows = [
+        Flow(
+            int(rng.integers(0, m)),
+            int(rng.integers(0, m)),
+            int(rng.integers(1, d_max + 1)),
+            int(rng.integers(0, 6)),
+        )
+        for _ in range(n)
+    ]
+    return Instance.create(sw, flows)
+
+
+def test_violation_vs_dmax(capsys, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Theorem 3 headline: violation <= 2 d_max - 1 at every scale."""
+    rows = []
+    for d_max in (1, 2, 3, 4):
+        inst = _demand_instance(d_max, seed=d_max)
+        res = solve_mrt(inst)
+        rows.append((d_max, res.rho, res.max_violation, 2 * d_max - 1))
+        assert res.max_violation <= 2 * d_max - 1
+        assert max_response_time(res.schedule) <= res.rho
+    with capsys.disabled():
+        print("\nTheorem 3 violation vs d_max")
+        print(f"{'d_max':>6} {'rho*':>5} {'violation':>10} {'bound':>6}")
+        for d, r, v, b in rows:
+            print(f"{d:>6} {r:>5} {v:>10} {b:>6}")
+
+
+def test_rho_matches_load_intuition(capsys, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """rho* tracks the busiest port's backlog on uniform workloads."""
+    rows = []
+    for load in (0.5, 1.0, 2.0):
+        inst = poisson_uniform_workload(8, load * 8, 8, seed=int(load * 10))
+        res = solve_mrt(inst)
+        rows.append((load, res.rho, res.lp_solves))
+    with capsys.disabled():
+        print("\nrho* vs offered load (m=8, T=8)")
+        print(f"{'load':>6} {'rho*':>5} {'LP solves':>10}")
+        for load, rho, solves in rows:
+            print(f"{load:>6.1f} {rho:>5} {solves:>10}")
+    assert rows[0][1] <= rows[-1][1]  # heavier load, larger rho*
+
+
+@pytest.mark.parametrize("n", [12, 24, 48])
+def test_bench_solve_mrt_scaling(benchmark, n):
+    inst = poisson_uniform_workload(6, 6, max(2, n // 6), seed=n)
+    benchmark.pedantic(lambda: solve_mrt(inst), rounds=2, iterations=1)

@@ -1,0 +1,47 @@
+"""Section 6 open problem — empirical probe (extension, not a figure).
+
+The paper asks whether degree-bounded request sequences (schedulable
+with response 1 under "+1" augmentation) admit constant response with
+NO augmentation.  This bench generates random such sequences and
+reports the worst optimal response observed — empirical evidence for
+the conjectured constant.
+
+Run:  pytest benchmarks/bench_open_problem.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.analysis.open_problem import (
+    probe_open_problem,
+    random_degree_bounded_sequence,
+)
+
+
+def test_probe_constants(capsys, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for ports, rounds in ((3, 5), (4, 6), (5, 8)):
+        worst, values = probe_open_problem(
+            num_ports=ports, num_rounds=rounds, trials=8, seed=11
+        )
+        rows.append((ports, rounds, worst, values))
+        # Conjecture-consistent: small constants, no growth with scale.
+        assert worst <= 6
+    with capsys.disabled():
+        print("\nSection 6 open-problem probe (optimal response, "
+              "no augmentation)")
+        print(f"{'ports':>6} {'rounds':>7} {'worst':>6}  per-trial")
+        for ports, rounds, worst, values in rows:
+            print(f"{ports:>6} {rounds:>7} {worst:>6}  {values}")
+
+
+def test_bench_sequence_generation(benchmark):
+    benchmark(lambda: random_degree_bounded_sequence(5, 8, seed=1))
+
+
+def test_bench_probe(benchmark):
+    benchmark.pedantic(
+        lambda: probe_open_problem(3, 5, trials=3, seed=2),
+        rounds=2,
+        iterations=1,
+    )

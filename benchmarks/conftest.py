@@ -1,0 +1,39 @@
+"""Shared benchmark configuration.
+
+Benchmarks default to a reduced scale so ``pytest benchmarks/
+--benchmark-only`` completes in minutes; set ``REPRO_PAPER_SCALE=1`` to
+run the paper's full 150-port configuration (budget hours for the LP
+baselines, as the paper did with Gurobi).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, paper_scale_config
+
+
+def bench_config(**overrides) -> ExperimentConfig:
+    """The sweep configuration used by the figure benchmarks."""
+    if os.environ.get("REPRO_PAPER_SCALE", "").strip() in ("1", "true", "yes"):
+        return paper_scale_config(**overrides)
+    base = dict(
+        num_ports=16,
+        generation_rounds=(6, 8, 10, 14),
+        trials=2,
+        lp_round_limit=8,
+        seed=2020,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+@pytest.fixture(scope="session")
+def shared_sweep():
+    """One sweep shared by the fig6/fig7 benches (the paper measures both
+    objectives on the same simulation runs)."""
+    from repro.experiments.harness import run_sweep
+
+    return run_sweep(bench_config())

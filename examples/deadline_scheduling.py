@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Deadline-constrained flow scheduling (Remark 4.2).
+
+Time-Constrained Flow Scheduling generalizes FS-MRT: each flow carries a
+release time *and* a deadline.  Theorem 3 either certifies that no
+schedule exists (even fractionally) or produces one meeting every
+deadline using at most ``2*d_max - 1`` extra units of port capacity.
+
+This example models a storage cluster flushing replication flows with
+per-flow SLOs: bulk flows get loose deadlines, interactive flows tight
+ones, and we push the system until the LP certifies infeasibility.
+
+Run:  python examples/deadline_scheduling.py
+"""
+
+import numpy as np
+
+from repro import Flow, Instance, Switch, from_deadlines, schedule_time_constrained
+from repro.core.metrics import response_times
+
+
+def build_instance(num_ports: int, tightness: int, seed: int) -> tuple:
+    """Random mixed-SLO workload; returns (instance, deadlines)."""
+    rng = np.random.default_rng(seed)
+    switch = Switch.create(num_ports, num_ports, 2)  # capacity-2 ports
+    flows, deadlines = [], []
+    for i in range(3 * num_ports):
+        src = int(rng.integers(0, num_ports))
+        dst = int(rng.integers(0, num_ports))
+        release = int(rng.integers(0, 6))
+        if rng.random() < 0.3:  # interactive: demand 1, tight deadline
+            flows.append(Flow(src, dst, 1, release))
+            deadlines.append(release + tightness)
+        else:  # bulk: demand 2, loose deadline
+            flows.append(Flow(src, dst, 2, release))
+            deadlines.append(release + 3 * tightness)
+    return Instance.create(switch, flows), deadlines
+
+
+def main() -> None:
+    for tightness in (6, 4, 3, 2, 1):
+        instance, deadlines = build_instance(8, tightness, seed=13)
+        tci = from_deadlines(instance, deadlines)
+        result = schedule_time_constrained(tci)
+        if not result.feasible:
+            print(
+                f"tightness={tightness}: INFEASIBLE — the LP certifies no "
+                f"schedule can meet these deadlines (even fractionally)"
+            )
+            continue
+        schedule = result.schedule
+        rts = response_times(schedule)
+        met = all(
+            schedule.round_of(f.fid) <= d
+            for f, d in zip(instance.flows, deadlines)
+        )
+        print(
+            f"tightness={tightness}: scheduled {instance.num_flows} flows, "
+            f"deadlines met={met}, mean response={rts.mean():.2f}, "
+            f"extra capacity={result.max_violation} "
+            f"(bound {2 * instance.max_demand - 1})"
+        )
+
+
+if __name__ == "__main__":
+    main()

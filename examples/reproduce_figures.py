@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Regenerate Figures 6 and 7 of the paper.
+
+Runs the full heuristic + LP sweep and prints one series table per panel
+(one panel per arrival mean M, exactly the paper's layout).  By default
+this uses the laptop-scale configuration (24 ports, same per-port load
+ratios as the paper); pass --paper-scale (or set REPRO_PAPER_SCALE=1)
+for the full 150-port / 10-trial configuration — budget hours for the
+LP baselines at T = 20, as the paper did with Gurobi.
+
+Run:  python examples/reproduce_figures.py [--paper-scale] [--quick]
+"""
+
+import argparse
+import time
+
+from repro.experiments import run_sweep
+from repro.experiments.config import (
+    default_config,
+    paper_scale_config,
+    smoke_config,
+)
+from repro.experiments.fig6 import render_fig6
+from repro.experiments.fig7 import render_fig7
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="full 150-port, 10-trial configuration")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke-scale configuration (seconds)")
+    parser.add_argument("--no-lp", action="store_true",
+                        help="skip the LP lower bounds")
+    args = parser.parse_args()
+
+    if args.paper_scale:
+        config = paper_scale_config()
+    elif args.quick:
+        config = smoke_config()
+    else:
+        config = default_config()
+
+    print(
+        f"Sweep: m={config.num_ports}, M={config.arrival_means()}, "
+        f"T={list(config.generation_rounds)}, trials={config.trials}, "
+        f"LP for T<={config.lp_round_limit}\n"
+    )
+    start = time.time()
+    sweep = run_sweep(config, compute_lp_bounds=not args.no_lp, verbose=True)
+    print(f"\nsweep finished in {time.time() - start:.1f}s\n")
+    print(render_fig6(sweep))
+    print()
+    print(render_fig7(sweep))
+    print("\nPhase timings:")
+    print(sweep.timer.report())
+
+
+if __name__ == "__main__":
+    main()

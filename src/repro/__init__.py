@@ -1,0 +1,88 @@
+"""repro — Scheduling Flows on a Switch to Optimize Response Times.
+
+A from-scratch Python reproduction of Jahanjou, Rajaraman & Stalfa
+(SPAA 2020, arXiv:2005.09724): offline approximation algorithms for
+average (FS-ART, Theorem 1) and maximum (FS-MRT, Theorem 3) response
+time of flows on a capacitated non-blocking switch, the Restricted
+Timetable hardness reduction (Theorem 2), the online AMRT algorithm
+(Lemma 5.3), the MaxCard/MinRTime/MaxWeight online heuristics, and the
+full Figure 6/7 experiment harness — plus every substrate they need
+(LP solving, bipartite matching/edge-coloring, a switch simulator, and
+workload generators).
+
+Quick start
+-----------
+>>> from repro import poisson_uniform_workload, simulate, make_policy
+>>> inst = poisson_uniform_workload(num_ports=16, mean_arrivals=8,
+...                                 num_rounds=10, seed=0)
+>>> result = simulate(inst, make_policy("MaxWeight"))
+>>> result.metrics.average_response  # doctest: +SKIP
+"""
+
+from repro.core import (
+    Flow,
+    Instance,
+    Schedule,
+    ScheduleError,
+    ScheduleMetrics,
+    Switch,
+    average_response_time,
+    max_response_time,
+    total_response_time,
+    validate_schedule,
+)
+from repro.core.greedy import greedy_earliest_fit
+from repro.art import solve_art, ARTResult
+from repro.mrt import (
+    MRTResult,
+    TimeConstrainedInstance,
+    from_deadlines,
+    from_response_bound,
+    schedule_time_constrained,
+    solve_mrt,
+)
+from repro.online import (
+    AMRTResult,
+    make_policy,
+    run_amrt,
+    simulate,
+)
+from repro.workloads import (
+    hotspot_workload,
+    incast_workload,
+    permutation_workload,
+    poisson_uniform_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Flow",
+    "Switch",
+    "Instance",
+    "Schedule",
+    "ScheduleError",
+    "ScheduleMetrics",
+    "validate_schedule",
+    "average_response_time",
+    "max_response_time",
+    "total_response_time",
+    "greedy_earliest_fit",
+    "solve_art",
+    "ARTResult",
+    "solve_mrt",
+    "MRTResult",
+    "TimeConstrainedInstance",
+    "from_response_bound",
+    "from_deadlines",
+    "schedule_time_constrained",
+    "simulate",
+    "make_policy",
+    "run_amrt",
+    "AMRTResult",
+    "poisson_uniform_workload",
+    "hotspot_workload",
+    "permutation_workload",
+    "incast_workload",
+    "__version__",
+]

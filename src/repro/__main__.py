@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``fig6`` / ``fig7``
+    Regenerate the paper's figure series (``--quick`` / ``--paper-scale``).
+``solve-mrt TRACE``
+    Run the Theorem 3 solver on a JSON trace (see ``repro.workloads.trace``).
+``solve-art TRACE``
+    Run the Theorem 1 solver on a JSON trace (unit demands).
+``simulate TRACE --policy NAME``
+    Run one online heuristic on a trace.
+``generate OUT``
+    Write a Poisson/uniform trace (the paper's workload) to a file.
+``probe-open-problem``
+    Explore the Section 6 open question empirically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.metrics import ScheduleMetrics
+
+
+def _cmd_figures(args, which: str) -> int:
+    from repro.experiments.config import (
+        default_config,
+        paper_scale_config,
+        smoke_config,
+    )
+    from repro.experiments.fig6 import render_fig6
+    from repro.experiments.fig7 import render_fig7
+    from repro.experiments.harness import run_sweep
+
+    if args.paper_scale:
+        config = paper_scale_config()
+    elif args.quick:
+        config = smoke_config()
+    else:
+        config = default_config()
+    sweep = run_sweep(config, compute_lp_bounds=not args.no_lp, verbose=True)
+    print()
+    print(render_fig6(sweep) if which == "fig6" else render_fig7(sweep))
+    return 0
+
+
+def _cmd_solve_mrt(args) -> int:
+    from repro.mrt.algorithm import solve_mrt
+    from repro.workloads.trace import load_trace
+
+    inst = load_trace(args.trace)
+    res = solve_mrt(inst)
+    print(f"instance: {inst}")
+    print(f"optimal (fractional) max response rho* = {res.rho}")
+    print(f"schedule extra capacity used = {res.max_violation} "
+          f"(Theorem 3 bound {2 * inst.max_demand - 1})")
+    print(f"LP solves = {res.lp_solves}")
+    if args.out:
+        _write_assignment(res.schedule, args.out)
+    return 0
+
+
+def _cmd_solve_art(args) -> int:
+    from repro.art.algorithm import solve_art
+    from repro.workloads.trace import load_trace
+
+    inst = load_trace(args.trace)
+    res = solve_art(inst, c=args.c)
+    print(f"instance: {inst}")
+    print(f"total response = {res.total_response} "
+          f"(LP lower bound {res.lower_bound:.2f})")
+    print(f"capacity blowup = {res.conversion.capacity_factor}x "
+          f"(target 1+c = {1 + args.c}x), window h = {res.conversion.window}")
+    if args.out:
+        _write_assignment(res.schedule, args.out)
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.online.policies import make_policy
+    from repro.online.simulator import simulate
+    from repro.workloads.trace import load_trace
+
+    inst = load_trace(args.trace)
+    result = simulate(inst, make_policy(args.policy))
+    print(f"instance: {inst}")
+    print(f"policy {args.policy}: {result.metrics}")
+    if args.out:
+        _write_assignment(result.schedule, args.out)
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.workloads.synthetic import poisson_uniform_workload
+    from repro.workloads.trace import save_trace
+
+    inst = poisson_uniform_workload(
+        args.ports, args.mean, args.rounds, seed=args.seed
+    )
+    save_trace(inst, args.out)
+    print(f"wrote {inst} to {args.out}")
+    return 0
+
+
+def _cmd_probe(args) -> int:
+    from repro.analysis.open_problem import probe_open_problem
+
+    worst, values = probe_open_problem(
+        num_ports=args.ports,
+        num_rounds=args.rounds,
+        trials=args.trials,
+        seed=args.seed,
+    )
+    print("Section 6 open-problem probe (degree-bounded sequences, "
+          "no augmentation):")
+    print(f"  optimal max response per trial: {values}")
+    print(f"  worst observed constant: {worst}")
+    return 0
+
+
+def _write_assignment(schedule, path: str) -> None:
+    import json
+
+    data = {
+        "assignment": schedule.assignment.tolist(),
+        "metrics": ScheduleMetrics.of(schedule).__dict__,
+    }
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=1)
+    print(f"schedule written to {path}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scheduling Flows on a Switch (SPAA 2020) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for fig in ("fig6", "fig7"):
+        p = sub.add_parser(fig, help=f"regenerate {fig} series")
+        p.add_argument("--quick", action="store_true")
+        p.add_argument("--paper-scale", action="store_true")
+        p.add_argument("--no-lp", action="store_true")
+
+    p = sub.add_parser("solve-mrt", help="offline Theorem 3 solver")
+    p.add_argument("trace")
+    p.add_argument("--out", default=None)
+
+    p = sub.add_parser("solve-art", help="offline Theorem 1 solver")
+    p.add_argument("trace")
+    p.add_argument("-c", type=int, default=1, help="capacity augmentation")
+    p.add_argument("--out", default=None)
+
+    p = sub.add_parser("simulate", help="run an online heuristic")
+    p.add_argument("trace")
+    p.add_argument("--policy", default="MaxWeight")
+    p.add_argument("--out", default=None)
+
+    p = sub.add_parser("generate", help="write a Poisson/uniform trace")
+    p.add_argument("out")
+    p.add_argument("--ports", type=int, default=24)
+    p.add_argument("--mean", type=float, default=24.0)
+    p.add_argument("--rounds", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "probe-open-problem", help="Section 6 open-question explorer"
+    )
+    p.add_argument("--ports", type=int, default=4)
+    p.add_argument("--rounds", type=int, default=6)
+    p.add_argument("--trials", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command in ("fig6", "fig7"):
+        return _cmd_figures(args, args.command)
+    if args.command == "solve-mrt":
+        return _cmd_solve_mrt(args)
+    if args.command == "solve-art":
+        return _cmd_solve_art(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "probe-open-problem":
+        return _cmd_probe(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

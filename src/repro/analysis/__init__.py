@@ -1,0 +1,23 @@
+"""Empirical analyses beyond the paper's evaluation.
+
+* :mod:`repro.analysis.open_problem` — an experimental probe of the
+  Section 6 open question on scheduling degree-bounded graph sequences
+  without resource augmentation;
+* :mod:`repro.analysis.stability` — queueing-stability diagnostics for
+  the online policies (sub/critical/super-critical load regimes).
+"""
+
+from repro.analysis.open_problem import (
+    DegreeBoundedSequence,
+    probe_open_problem,
+    random_degree_bounded_sequence,
+)
+from repro.analysis.stability import StabilityReport, stability_report
+
+__all__ = [
+    "DegreeBoundedSequence",
+    "random_degree_bounded_sequence",
+    "probe_open_problem",
+    "stability_report",
+    "StabilityReport",
+]

@@ -1,0 +1,72 @@
+"""Queueing-stability diagnostics for the online policies.
+
+The paper's Figures 6–7 sweep per-port loads from 1/3 to 4; the load-1
+boundary separates regimes where queues stay bounded from regimes where
+backlog (and hence response time) grows linearly with the generation
+length T.  This module quantifies that transition — useful context when
+reading the figure panels, and a scientific control for new policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.online.policies import OnlinePolicy
+from repro.online.simulator import simulate
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Backlog behaviour of one policy on one workload.
+
+    Attributes
+    ----------
+    peak_queue:
+        Largest waiting-flow count observed.
+    final_drain_rounds:
+        Rounds needed to clear the backlog after arrivals stop.
+    queue_growth_rate:
+        Least-squares slope of queue length during the arrival phase
+        (≈ 0 in the stable regime, ≈ (load − 1)·m above saturation).
+    avg_response / max_response:
+        The schedule's response metrics.
+    """
+
+    policy: str
+    peak_queue: int
+    final_drain_rounds: int
+    queue_growth_rate: float
+    avg_response: float
+    max_response: int
+
+
+def stability_report(
+    instance: Instance, policy: OnlinePolicy, arrival_rounds: int
+) -> StabilityReport:
+    """Simulate ``policy`` and summarize its queue dynamics.
+
+    Parameters
+    ----------
+    arrival_rounds:
+        The workload's generation length T (rounds with new arrivals);
+        the growth-rate fit uses only this prefix.
+    """
+    result = simulate(instance, policy)
+    history = result.queue_history.astype(np.float64)
+    prefix = history[: max(2, min(arrival_rounds, history.size))]
+    ts = np.arange(prefix.size, dtype=np.float64)
+    # Least-squares slope of queue length over the arrival phase.
+    slope = float(np.polyfit(ts, prefix, 1)[0]) if prefix.size >= 2 else 0.0
+    return StabilityReport(
+        policy=policy.name,
+        peak_queue=int(history.max(initial=0)),
+        final_drain_rounds=int(result.rounds - arrival_rounds)
+        if result.rounds > arrival_rounds
+        else 0,
+        queue_growth_rate=slope,
+        avg_response=result.metrics.average_response,
+        max_response=result.metrics.max_response,
+    )

@@ -1,0 +1,212 @@
+"""Iterative rounding for FS-ART (Section 3.1, Lemma 3.3).
+
+Following Bansal–Kulkarni (as adapted by the paper), a sequence of linear
+programs LP(0), LP(1), ... is solved, where LP(0) is the interval LP
+(5)–(8) and each LP(ℓ) relaxes LP(ℓ−1):
+
+* flows whose variables became integral in LP(ℓ−1) are **permanently
+  fixed** to their round and leave the program;
+* zero variables are deleted;
+* per-port capacity blocks are **regrouped**: the surviving variables of
+  port ``p`` are sorted by round and greedily grouped until each group's
+  fractional mass first reaches ``4 c_p`` (sizes land in
+  ``[4 c_p, 5 c_p)``; a trailing partial group keeps its own mass as its
+  capacity); the new constraint gives each group capacity equal to its
+  mass, so the previous solution stays feasible and the LP value never
+  increases (Lemma 3.3 property 2).
+
+Lemma 3.5 shows at least half the flows become integral per iteration,
+so there are ``O(log n)`` iterations, and Lemmas 3.6–3.7 bound the
+accumulated window overload by ``O(c_p log n)``.
+
+This implementation requires **unit demands** (the setting of Theorem 1;
+the paper's rounding also analyzes only the unit-flow case end-to-end).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.art.lp_relaxation import BLOCK, build_interval_lp0
+from repro.art.pseudo_schedule import PseudoSchedule
+from repro.core.instance import Instance
+from repro.lp.model import LinearProgram, Sense
+from repro.lp.solver import solve_lp
+
+_TOL = 1e-7
+
+Var = Tuple[int, int]  # (fid, t)
+PortKey = Tuple[str, int]  # (side, port)
+
+
+def iterative_rounding(
+    instance: Instance,
+    horizon: Optional[int] = None,
+    backend: str = "auto",
+    max_iterations: Optional[int] = None,
+) -> PseudoSchedule:
+    """Round LP (5)–(8) into a pseudo-schedule (Lemma 3.3).
+
+    Parameters
+    ----------
+    instance:
+        Unit-demand instance (raises ``ValueError`` otherwise).
+    horizon:
+        LP time horizon; defaults to ``instance.horizon_bound()``.
+    backend:
+        LP backend (must produce vertex solutions; ``auto`` → highs-ds).
+    max_iterations:
+        Defensive cap; defaults to ``2 log2(n) + 20``.
+
+    Returns
+    -------
+    PseudoSchedule
+    """
+    if not instance.is_unit_demand:
+        raise ValueError(
+            "iterative rounding implements the unit-demand case "
+            "(Theorem 1); got non-unit demands"
+        )
+    n = instance.num_flows
+    if n == 0:
+        return PseudoSchedule(instance, np.zeros(0, dtype=np.int64))
+    if max_iterations is None:
+        max_iterations = 2 * int(math.log2(n) + 1) + 20
+
+    # --- LP(0) -----------------------------------------------------------
+    lp0 = build_interval_lp0(instance, horizon)
+    res = solve_lp(lp0, backend=backend, need_vertex=True)
+    if not res.is_optimal:  # pragma: no cover - LP(0) is always feasible
+        raise RuntimeError(f"LP(0) failed: {res.status}")
+    lp0_optimum = float(res.objective)
+    values = lp0.solution_by_name(res.x)
+    # Surviving fractional support: {fid: {t: value}}.
+    support: Dict[int, Dict[int, float]] = {}
+    for (_, fid, t), v in values.items():
+        if v > _TOL:
+            support.setdefault(fid, {})[t] = v
+
+    assignment = np.full(n, -1, dtype=np.int64)
+    iterations = 1
+    fallback_fixes = 0
+
+    def fix_integral_flows() -> None:
+        """Permanently assign flows with a variable at value 1."""
+        for fid in list(support):
+            entries = support[fid]
+            one_t = next(
+                (t for t, v in entries.items() if v >= 1 - _TOL), None
+            )
+            if one_t is not None:
+                assignment[fid] = one_t
+                del support[fid]
+
+    fix_integral_flows()
+
+    while support and iterations < max_iterations:
+        prev_unfixed = len(support)
+        lp = _build_lp_ell(instance, support)
+        res = solve_lp(lp, backend=backend, need_vertex=True)
+        iterations += 1
+        if not res.is_optimal:  # pragma: no cover - relaxation invariant
+            raise RuntimeError(f"LP(ell) failed: {res.status}")
+        values = lp.solution_by_name(res.x)
+        support = {}
+        for (_, fid, t), v in values.items():
+            if v > _TOL:
+                support.setdefault(fid, {})[t] = v
+        fix_integral_flows()
+        if len(support) >= prev_unfixed:
+            # Defensive fallback (Lemma 3.5 precludes this with exact
+            # vertices): force the most-committed flow to its best round.
+            fid = max(support, key=lambda f: max(support[f].values()))
+            t_best = max(support[fid], key=support[fid].get)
+            assignment[fid] = t_best
+            del support[fid]
+            fallback_fixes += 1
+
+    # Horizon exhausted: force-assign any stragglers (max_iterations hit).
+    for fid in list(support):
+        t_best = max(support[fid], key=support[fid].get)
+        assignment[fid] = t_best
+        del support[fid]
+        fallback_fixes += 1
+
+    releases = instance.releases()
+    lp_cost = float(((assignment - releases) + 0.5).sum())
+    return PseudoSchedule(
+        instance,
+        assignment,
+        lp_cost=lp_cost,
+        lp0_optimum=lp0_optimum,
+        iterations=iterations,
+        fallback_fixes=fallback_fixes,
+    )
+
+
+def _build_lp_ell(
+    instance: Instance, support: Dict[int, Dict[int, float]]
+) -> LinearProgram:
+    """Construct LP(ℓ) (equations (9)–(12)) from the surviving support."""
+    lp = LinearProgram()
+    # Variables + flow-completion constraints (10).
+    for fid, entries in sorted(support.items()):
+        flow = instance.flows[fid]
+        coeffs = {}
+        for t in sorted(entries):
+            name = ("b", fid, t)
+            cost = (t - flow.release) / flow.demand + 0.5
+            lp.add_variable(name, objective=cost)
+            coeffs[name] = 1.0
+        lp.add_constraint(("flow", fid), coeffs, Sense.GE, float(flow.demand))
+
+    # Interval constraints (11): per port, regroup surviving variables.
+    for side, port, groups in _port_groups(instance, support):
+        for a, (group_vars, size) in enumerate(groups):
+            coeffs = {("b", fid, t): 1.0 for fid, t in group_vars}
+            lp.add_constraint((("ivl", side, port, a)), coeffs, Sense.LE, size)
+    return lp
+
+
+def _port_groups(
+    instance: Instance, support: Dict[int, Dict[int, float]]
+) -> List[Tuple[str, int, List[Tuple[List[Var], float]]]]:
+    """Greedy interval construction per port (the I(p, a, ℓ) of §3.1).
+
+    For each port: sort the surviving variables of incident flows by
+    round (ties by fid), then cut groups as soon as the accumulated mass
+    first reaches ``BLOCK * c_p``.  Returns
+    ``[(side, port, [(vars, size), ...]), ...]``.
+    """
+    per_port: Dict[PortKey, List[Tuple[int, int, float]]] = {}
+    for fid, entries in support.items():
+        flow = instance.flows[fid]
+        for t, v in entries.items():
+            per_port.setdefault(("in", flow.src), []).append((t, fid, v))
+            per_port.setdefault(("out", flow.dst), []).append((t, fid, v))
+
+    out: List[Tuple[str, int, List[Tuple[List[Var], float]]]] = []
+    for (side, port), triples in sorted(per_port.items()):
+        cap = (
+            instance.switch.input_capacity(port)
+            if side == "in"
+            else instance.switch.output_capacity(port)
+        )
+        threshold = BLOCK * cap
+        triples.sort()
+        groups: List[Tuple[List[Var], float]] = []
+        current: List[Var] = []
+        mass = 0.0
+        for t, fid, v in triples:
+            current.append((fid, t))
+            mass += v
+            if mass >= threshold:
+                groups.append((current, mass))
+                current, mass = [], 0.0
+        if current:
+            groups.append((current, mass))
+        out.append((side, port, groups))
+    return out

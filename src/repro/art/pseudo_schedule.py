@@ -1,0 +1,115 @@
+"""Pseudo-schedules (Remark 3.4 / Lemma 3.3).
+
+The iterative-rounding phase produces an integral assignment of flows to
+rounds that may transiently *overload* ports: over any time window
+``[t1, t2]`` the volume assigned to port ``p`` is at most
+``c_p (t2 - t1) + O(c_p log n)``.  This module holds the result type and
+the overload diagnostics the tests and benches use to verify that bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.core.instance import Instance
+
+
+@dataclass(frozen=True)
+class PseudoSchedule:
+    """Integral round assignment with possible transient port overload.
+
+    Attributes
+    ----------
+    instance:
+        The underlying instance.
+    assignment:
+        ``assignment[fid] = t`` — the round each flow is assigned to.
+    lp_cost:
+        Objective value of the *final* rounded solution under the LP(0)
+        cost (Lemma 3.3 property 2: at most the LP(0) optimum).
+    lp0_optimum:
+        Optimal objective of LP(0) (a lower bound on any schedule's
+        total response time).
+    iterations:
+        Number of LP solves in the rounding loop.
+    fallback_fixes:
+        Times the defensive force-assign fallback fired (expected 0).
+    """
+
+    instance: Instance
+    assignment: np.ndarray = field(repr=False)
+    lp_cost: float = 0.0
+    lp0_optimum: float = 0.0
+    iterations: int = 0
+    fallback_fixes: int = 0
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.assignment, dtype=np.int64)
+        if arr.shape != (self.instance.num_flows,):
+            raise ValueError(
+                f"assignment shape {arr.shape} != ({self.instance.num_flows},)"
+            )
+        object.__setattr__(self, "assignment", arr)
+        arr.setflags(write=False)
+
+    def respects_releases(self) -> bool:
+        """No flow assigned before its release round."""
+        return bool((self.assignment >= self.instance.releases()).all())
+
+    def total_response(self) -> int:
+        """Total response time of the pseudo-schedule (``C_e = t + 1``)."""
+        return int(
+            (self.assignment + 1 - self.instance.releases()).sum()
+        ) if self.instance.num_flows else 0
+
+    def port_loads(self) -> Dict[tuple[str, int], np.ndarray]:
+        """Per-round demand profile of every port: ``{(side, port): loads}``."""
+        inst = self.instance
+        H = int(self.assignment.max()) + 1 if inst.num_flows else 1
+        loads: Dict[tuple[str, int], np.ndarray] = {}
+        in_loads = np.zeros((inst.switch.num_inputs, H), dtype=np.int64)
+        out_loads = np.zeros((inst.switch.num_outputs, H), dtype=np.int64)
+        if inst.num_flows:
+            np.add.at(in_loads, (inst.srcs(), self.assignment), inst.demands())
+            np.add.at(out_loads, (inst.dsts(), self.assignment), inst.demands())
+        for p in range(inst.switch.num_inputs):
+            loads[("in", p)] = in_loads[p]
+        for q in range(inst.switch.num_outputs):
+            loads[("out", q)] = out_loads[q]
+        return loads
+
+    def max_window_overload(self) -> float:
+        """``max over ports p, windows [t1,t2] of (vol_p - c_p (t2-t1)) / c_p``.
+
+        Lemma 3.3 property 3 asserts this is ``O(log n)``.  Computed per
+        port with Kadane's algorithm on ``load_t - c_p``: the maximum over
+        windows of ``sum_{t1..t2} load_t - c_p (t2 - t1)`` equals
+        ``max-subarray-sum(load - c_p) + c_p``.
+        """
+        inst = self.instance
+        if inst.num_flows == 0:
+            return 0.0
+        worst = 0.0
+        for (side, port), loads in self.port_loads().items():
+            cap = (
+                inst.switch.input_capacity(port)
+                if side == "in"
+                else inst.switch.output_capacity(port)
+            )
+            excess = loads.astype(np.float64) - cap
+            best = _max_subarray(excess) + cap
+            worst = max(worst, best / cap)
+        return worst
+
+
+def _max_subarray(values: np.ndarray) -> float:
+    """Kadane's maximum (non-empty) subarray sum."""
+    best = -np.inf
+    running = 0.0
+    for v in values:
+        running = max(v, running + v)
+        best = max(best, running)
+    return float(best)

@@ -1,0 +1,46 @@
+"""Co-flow scheduling on a switch (the paper's §6 generalization).
+
+A *co-flow* (Chowdhury–Stoica) is a collection of flows with a shared
+semantic — all the shuffle transfers of one MapReduce stage, say — whose
+user-visible latency is the completion of its **last** flow.  The paper
+lists co-flows as the natural generalization of its model ("we would
+like to extend our research to ... more general types of flows (e.g.,
+co-flows)") and cites Varys and the co-flow approximation literature.
+
+This subpackage builds the generalization on top of the library's flow
+machinery:
+
+* :mod:`repro.coflow.model` — co-flow instances over a switch;
+* :mod:`repro.coflow.metrics` — co-flow completion/response metrics;
+* :mod:`repro.coflow.policies` — co-flow-aware online policies
+  (Varys-style SEBF, FIFO ordering) plus co-flow-oblivious baselines;
+* :mod:`repro.coflow.simulator` — co-flow simulation driver.
+"""
+
+from repro.coflow.model import Coflow, CoflowInstance
+from repro.coflow.metrics import (
+    CoflowMetrics,
+    coflow_completion_times,
+    coflow_response_times,
+)
+from repro.coflow.policies import (
+    COFLOW_POLICY_REGISTRY,
+    CoflowFifoPolicy,
+    CoflowSebfPolicy,
+    make_coflow_policy,
+)
+from repro.coflow.simulator import CoflowSimulationResult, simulate_coflows
+
+__all__ = [
+    "Coflow",
+    "CoflowInstance",
+    "coflow_completion_times",
+    "coflow_response_times",
+    "CoflowMetrics",
+    "CoflowSebfPolicy",
+    "CoflowFifoPolicy",
+    "COFLOW_POLICY_REGISTRY",
+    "make_coflow_policy",
+    "simulate_coflows",
+    "CoflowSimulationResult",
+]

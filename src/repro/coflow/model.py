@@ -1,0 +1,146 @@
+"""Co-flow instances.
+
+A :class:`Coflow` is a set of flows released together; a
+:class:`CoflowInstance` groups co-flows over one switch and flattens
+them into a plain :class:`~repro.core.instance.Instance` (so all the
+flow-level machinery — simulator, LPs, validators — applies), keeping
+the flow → co-flow mapping for the co-flow metrics and policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.flow import Flow
+from repro.core.instance import Instance
+from repro.core.switch import Switch
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import check_nonnegative_int, check_positive_int
+
+
+@dataclass(frozen=True)
+class Coflow:
+    """One co-flow: a release round plus member port pairs/demands.
+
+    Attributes
+    ----------
+    members:
+        ``(src, dst, demand)`` triples; all members share the co-flow's
+        release round (the standard model: a stage's transfers become
+        known when the stage starts).
+    release:
+        Release round of every member.
+    cid:
+        Identifier within an instance (assigned by
+        :class:`CoflowInstance`).
+    """
+
+    members: Tuple[Tuple[int, int, int], ...]
+    release: int = 0
+    cid: int = -1
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("a coflow needs at least one member flow")
+        check_nonnegative_int(self.release, "release")
+        for src, dst, demand in self.members:
+            check_nonnegative_int(src, "src")
+            check_nonnegative_int(dst, "dst")
+            check_positive_int(demand, "demand")
+
+    @property
+    def total_demand(self) -> int:
+        """Sum of member demands."""
+        return sum(d for _, _, d in self.members)
+
+    def bottleneck(self, switch: Switch) -> float:
+        """Varys' *effective bottleneck*: the max over ports of the
+        co-flow's demand on that port divided by the port capacity —
+        a lower bound on the rounds the co-flow needs once started."""
+        in_load: dict[int, int] = {}
+        out_load: dict[int, int] = {}
+        for src, dst, demand in self.members:
+            in_load[src] = in_load.get(src, 0) + demand
+            out_load[dst] = out_load.get(dst, 0) + demand
+        worst = 0.0
+        for p, load in in_load.items():
+            worst = max(worst, load / switch.input_capacity(p))
+        for q, load in out_load.items():
+            worst = max(worst, load / switch.output_capacity(q))
+        return worst
+
+
+@dataclass(frozen=True)
+class CoflowInstance:
+    """Co-flows over a switch, flattened to a flow-level instance.
+
+    ``instance.flows[i]`` belongs to co-flow ``coflow_of[i]``.
+    """
+
+    switch: Switch
+    coflows: Tuple[Coflow, ...]
+    instance: Instance = field(repr=False)
+    coflow_of: np.ndarray = field(repr=False)
+
+    @staticmethod
+    def create(switch: Switch, coflows: Iterable[Coflow]) -> "CoflowInstance":
+        """Number co-flows, flatten members into flows, and validate."""
+        numbered: List[Coflow] = []
+        flows: List[Flow] = []
+        owner: List[int] = []
+        for cid, coflow in enumerate(coflows):
+            numbered.append(
+                Coflow(coflow.members, coflow.release, cid)
+            )
+            for src, dst, demand in coflow.members:
+                flows.append(Flow(src, dst, demand, coflow.release))
+                owner.append(cid)
+        instance = Instance.create(switch, flows)
+        return CoflowInstance(
+            switch,
+            tuple(numbered),
+            instance,
+            np.asarray(owner, dtype=np.int64),
+        )
+
+    @property
+    def num_coflows(self) -> int:
+        """Number of co-flows."""
+        return len(self.coflows)
+
+    def releases(self) -> np.ndarray:
+        """Release round per co-flow."""
+        return np.asarray([c.release for c in self.coflows], dtype=np.int64)
+
+
+def random_shuffle_coflows(
+    num_ports: int,
+    num_coflows: int,
+    width_range: Tuple[int, int] = (2, 6),
+    arrival_gap: int = 2,
+    seed: SeedLike = None,
+) -> CoflowInstance:
+    """MapReduce-style shuffle workload: each co-flow is a random
+    (mappers x reducers) transfer pattern with unit demands.
+
+    ``width_range`` bounds the mapper/reducer counts; co-flows are
+    released every ``arrival_gap`` rounds (a job queue draining).
+    """
+    rng = make_rng(seed)
+    m = check_positive_int(num_ports, "num_ports")
+    lo, hi = width_range
+    if not 1 <= lo <= hi <= m:
+        raise ValueError(f"width_range must satisfy 1 <= lo <= hi <= {m}")
+    switch = Switch.create(m)
+    coflows = []
+    for k in range(num_coflows):
+        mappers = rng.choice(m, size=int(rng.integers(lo, hi + 1)), replace=False)
+        reducers = rng.choice(m, size=int(rng.integers(lo, hi + 1)), replace=False)
+        members = tuple(
+            (int(u), int(v), 1) for u in mappers for v in reducers
+        )
+        coflows.append(Coflow(members, release=k * arrival_gap))
+    return CoflowInstance.create(switch, coflows)

@@ -1,0 +1,132 @@
+"""Co-flow-aware online policies.
+
+All policies here are flow-level :class:`~repro.online.policies.
+OnlinePolicy` implementations parameterized by a co-flow *ordering*;
+each round they pack waiting flows greedily in priority order (strict
+priority between co-flows, arbitrary within), which concentrates switch
+capacity on the highest-priority co-flow — the scheduling discipline of
+Varys.
+
+* **SEBF** (smallest effective bottleneck first) — priority =
+  the co-flow's remaining bottleneck (Varys' heuristic; analogous to
+  SRPT at the co-flow granularity);
+* **CoflowFIFO** — priority = co-flow release (then id): fairness
+  baseline;
+* co-flow-*oblivious* baselines come straight from
+  :mod:`repro.online.policies` (e.g. MaxCard), which maximize port
+  utilization but interleave co-flows and hence delay completions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.coflow.model import CoflowInstance
+from repro.core.flow import Flow
+from repro.core.instance import Instance
+from repro.online.policies import OnlinePolicy
+
+
+class _CoflowOrderedPolicy(OnlinePolicy):
+    """Greedy packing by a per-round co-flow priority (lower = first)."""
+
+    name = "coflow-ordered"
+
+    def __init__(self, cf: CoflowInstance):
+        self._cf = cf
+
+    def _coflow_priorities(
+        self, t: int, waiting: Dict[int, Flow]
+    ) -> Dict[int, float]:
+        """Return ``{cid: priority}`` for co-flows with waiting flows."""
+        raise NotImplementedError
+
+    def select(self, t, waiting, instance):
+        priorities = self._coflow_priorities(t, waiting)
+        flows = sorted(
+            waiting.values(),
+            key=lambda f: (
+                priorities[int(self._cf.coflow_of[f.fid])],
+                int(self._cf.coflow_of[f.fid]),
+                f.fid,
+            ),
+        )
+        in_res = instance.switch.input_capacities.copy()
+        out_res = instance.switch.output_capacities.copy()
+        chosen: List[int] = []
+        for flow in flows:
+            if (
+                in_res[flow.src] >= flow.demand
+                and out_res[flow.dst] >= flow.demand
+            ):
+                in_res[flow.src] -= flow.demand
+                out_res[flow.dst] -= flow.demand
+                chosen.append(flow.fid)
+        return chosen
+
+
+class CoflowSebfPolicy(_CoflowOrderedPolicy):
+    """Smallest Effective Bottleneck First (Varys-style).
+
+    Priority of a co-flow = its *remaining* bottleneck: the max over
+    ports of the waiting demand on that port divided by capacity.  SRPT
+    intuition: finishing almost-done co-flows first minimizes average
+    co-flow response.
+    """
+
+    name = "SEBF"
+
+    def _coflow_priorities(self, t, waiting):
+        in_load: Dict[tuple[int, int], int] = {}
+        out_load: Dict[tuple[int, int], int] = {}
+        for flow in waiting.values():
+            cid = int(self._cf.coflow_of[flow.fid])
+            in_load[(cid, flow.src)] = (
+                in_load.get((cid, flow.src), 0) + flow.demand
+            )
+            out_load[(cid, flow.dst)] = (
+                out_load.get((cid, flow.dst), 0) + flow.demand
+            )
+        priorities: Dict[int, float] = {}
+        switch = self._cf.switch
+        for (cid, p), load in in_load.items():
+            val = load / switch.input_capacity(p)
+            priorities[cid] = max(priorities.get(cid, 0.0), val)
+        for (cid, q), load in out_load.items():
+            val = load / switch.output_capacity(q)
+            priorities[cid] = max(priorities.get(cid, 0.0), val)
+        return priorities
+
+
+class CoflowFifoPolicy(_CoflowOrderedPolicy):
+    """First-released co-flow first (head-of-line discipline)."""
+
+    name = "CoflowFIFO"
+
+    def _coflow_priorities(self, t, waiting):
+        return {
+            int(self._cf.coflow_of[f.fid]): float(
+                self._cf.coflows[int(self._cf.coflow_of[f.fid])].release
+            )
+            for f in waiting.values()
+        }
+
+
+#: Name → constructor (taking the CoflowInstance) registry.
+COFLOW_POLICY_REGISTRY = {
+    "SEBF": CoflowSebfPolicy,
+    "CoflowFIFO": CoflowFifoPolicy,
+}
+
+
+def make_coflow_policy(name: str, cf: CoflowInstance) -> OnlinePolicy:
+    """Instantiate a co-flow policy by name for instance ``cf``."""
+    try:
+        return COFLOW_POLICY_REGISTRY[name](cf)
+    except KeyError:
+        raise ValueError(
+            f"unknown coflow policy {name!r}; "
+            f"available: {sorted(COFLOW_POLICY_REGISTRY)}"
+        ) from None

@@ -1,0 +1,34 @@
+"""Core problem model: switches, flows, instances, schedules, and metrics.
+
+This subpackage implements Section 2 of the paper ("Problem Definitions and
+Notation"): the non-blocking switch model ``S(m, m')`` with per-port
+capacities, flow requests (directed edges with demand and release time),
+the notion of a valid schedule, and the two response-time objectives
+(average and maximum response time).
+"""
+
+from repro.core.flow import Flow
+from repro.core.switch import Switch
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule, ScheduleError, validate_schedule
+from repro.core.metrics import (
+    ScheduleMetrics,
+    average_response_time,
+    max_response_time,
+    response_times,
+    total_response_time,
+)
+
+__all__ = [
+    "Flow",
+    "Switch",
+    "Instance",
+    "Schedule",
+    "ScheduleError",
+    "validate_schedule",
+    "ScheduleMetrics",
+    "response_times",
+    "average_response_time",
+    "max_response_time",
+    "total_response_time",
+]

@@ -1,0 +1,232 @@
+"""Problem instances: a switch plus a sequence of flow requests.
+
+An :class:`Instance` is the common input type of every algorithm in the
+library (offline LPs, rounding pipelines, online simulator).  It owns flow
+identifiers, validates the paper's standing assumption
+``d_e <= kappa_e = min(c_p, c_q)``, and provides NumPy views of the flow
+attributes for vectorized processing plus JSON (de)serialization for trace
+record/replay.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.core.flow import Flow
+from repro.core.switch import Switch
+
+
+@dataclass(frozen=True)
+class Instance:
+    """An FS-ART / FS-MRT problem instance ``(switch, flows)``.
+
+    Flows are stored in fid order; ``instance.flows[i].fid == i`` always
+    holds, so algorithms may index flows by fid.
+    """
+
+    switch: Switch
+    flows: tuple[Flow, ...] = field(default_factory=tuple)
+
+    @staticmethod
+    def create(switch: Switch, flows: Iterable[Flow]) -> "Instance":
+        """Validate flows against ``switch`` and assign sequential fids."""
+        numbered: List[Flow] = []
+        for i, flow in enumerate(flows):
+            if flow.src >= switch.num_inputs:
+                raise ValueError(
+                    f"flow {i}: src port {flow.src} out of range "
+                    f"(switch has {switch.num_inputs} inputs)"
+                )
+            if flow.dst >= switch.num_outputs:
+                raise ValueError(
+                    f"flow {i}: dst port {flow.dst} out of range "
+                    f"(switch has {switch.num_outputs} outputs)"
+                )
+            kappa = switch.kappa(flow.src, flow.dst)
+            if flow.demand > kappa:
+                raise ValueError(
+                    f"flow {i}: demand {flow.demand} exceeds kappa_e = "
+                    f"min(c_{flow.src}, c_{flow.dst}) = {kappa}"
+                )
+            numbered.append(flow.with_fid(i))
+        return Instance(switch, tuple(numbered))
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+    def __iter__(self) -> Iterator[Flow]:
+        return iter(self.flows)
+
+    @property
+    def num_flows(self) -> int:
+        """``n = |F|``."""
+        return len(self.flows)
+
+    @property
+    def is_unit_demand(self) -> bool:
+        """True when every flow has demand 1."""
+        return all(f.demand == 1 for f in self.flows)
+
+    @property
+    def max_demand(self) -> int:
+        """``d_max`` (0 for an empty instance)."""
+        return max((f.demand for f in self.flows), default=0)
+
+    @property
+    def max_release(self) -> int:
+        """Latest release round (0 for an empty instance)."""
+        return max((f.release for f in self.flows), default=0)
+
+    # ------------------------------------------------------------------
+    # Vectorized views (NumPy arrays indexed by fid)
+    # ------------------------------------------------------------------
+
+    def srcs(self) -> np.ndarray:
+        """Input-port index per flow."""
+        return np.fromiter((f.src for f in self.flows), dtype=np.int64, count=len(self))
+
+    def dsts(self) -> np.ndarray:
+        """Output-port index per flow."""
+        return np.fromiter((f.dst for f in self.flows), dtype=np.int64, count=len(self))
+
+    def demands(self) -> np.ndarray:
+        """Demand per flow."""
+        return np.fromiter(
+            (f.demand for f in self.flows), dtype=np.int64, count=len(self)
+        )
+
+    def releases(self) -> np.ndarray:
+        """Release round per flow."""
+        return np.fromiter(
+            (f.release for f in self.flows), dtype=np.int64, count=len(self)
+        )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    def horizon_bound(self) -> int:
+        """A round index by which some valid schedule finishes everything.
+
+        A greedy schedule that places one flow per round after the last
+        release always exists (demands respect ``kappa``), so
+        ``max_release + n + 1`` rounds always suffice.  LP formulations use
+        this as a finite time horizon.
+        """
+        return self.max_release + self.num_flows + 1
+
+    def compact_horizon_bound(self) -> int:
+        """A tighter horizon that still contains an *optimal* schedule.
+
+        In a left-justified schedule (no flow can move to an earlier
+        feasible round — total-response-optimal schedules can always be
+        made left-justified by cost-decreasing moves), a flow scheduled
+        at round ``t`` has one of its two ports saturated in every round
+        of ``[r_e, t)``.  Port ``p`` can be saturated in at most
+        ``ceil(D_p / c_p)`` rounds, where ``D_p`` is the total demand
+        incident on ``p``, so every flow runs before
+        ``r_e + ceil(D_src/c_src) + ceil(D_dst/c_dst)``.  The returned
+        bound is ``max_release + 2 * max_p ceil(D_p/c_p) + 2``, capped by
+        :meth:`horizon_bound`.  Using it as the LP horizon preserves the
+        lower-bound property of the relaxations while shrinking them
+        dramatically on balanced workloads.
+        """
+        if self.num_flows == 0:
+            return 1
+        in_load, out_load = self.port_loads()
+        waits_in = np.ceil(in_load / self.switch.input_capacities)
+        waits_out = np.ceil(out_load / self.switch.output_capacities)
+        max_wait = int(max(waits_in.max(initial=0), waits_out.max(initial=0)))
+        return min(self.horizon_bound(), self.max_release + 2 * max_wait + 2)
+
+    def flows_by_release(self) -> dict[int, list[Flow]]:
+        """Group flows by release round (used by the online simulator)."""
+        groups: dict[int, list[Flow]] = {}
+        for flow in self.flows:
+            groups.setdefault(flow.release, []).append(flow)
+        return groups
+
+    def port_loads(self) -> tuple[np.ndarray, np.ndarray]:
+        """Total demand per input port and per output port."""
+        in_load = np.zeros(self.switch.num_inputs, dtype=np.int64)
+        out_load = np.zeros(self.switch.num_outputs, dtype=np.int64)
+        if self.flows:
+            np.add.at(in_load, self.srcs(), self.demands())
+            np.add.at(out_load, self.dsts(), self.demands())
+        return in_load, out_load
+
+    def restricted_to(self, fids: Sequence[int]) -> "Instance":
+        """Sub-instance containing only the given flows (re-numbered)."""
+        subset = [self.flows[i] for i in fids]
+        return Instance.create(self.switch, subset)
+
+    def shifted(self, delta: int) -> "Instance":
+        """Instance with every release time shifted by ``delta`` (>= 0 result)."""
+        shifted_flows = []
+        for f in self.flows:
+            new_release = f.release + delta
+            if new_release < 0:
+                raise ValueError(
+                    f"shift {delta} makes flow {f.fid} release negative"
+                )
+            shifted_flows.append(Flow(f.src, f.dst, f.demand, new_release))
+        return Instance.create(self.switch, shifted_flows)
+
+    # ------------------------------------------------------------------
+    # Serialization (trace record / replay)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "switch": {
+                "num_inputs": self.switch.num_inputs,
+                "num_outputs": self.switch.num_outputs,
+                "input_capacities": self.switch.input_capacities.tolist(),
+                "output_capacities": self.switch.output_capacities.tolist(),
+            },
+            "flows": [
+                {"src": f.src, "dst": f.dst, "demand": f.demand, "release": f.release}
+                for f in self.flows
+            ],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Instance":
+        """Inverse of :meth:`to_dict`."""
+        sw = data["switch"]
+        switch = Switch.create(
+            sw["num_inputs"],
+            sw["num_outputs"],
+            sw["input_capacities"],
+            sw["output_capacities"],
+        )
+        flows = [
+            Flow(f["src"], f["dst"], f.get("demand", 1), f.get("release", 0))
+            for f in data["flows"]
+        ]
+        return Instance.create(switch, flows)
+
+    def save_json(self, path: str | Path) -> None:
+        """Write the instance to ``path`` as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=1))
+
+    @staticmethod
+    def load_json(path: str | Path) -> "Instance":
+        """Read an instance previously written by :meth:`save_json`."""
+        return Instance.from_dict(json.loads(Path(path).read_text()))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Instance({self.switch}, n={self.num_flows}, "
+            f"d_max={self.max_demand}, r_max={self.max_release})"
+        )

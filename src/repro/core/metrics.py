@@ -1,0 +1,72 @@
+"""Response-time metrics (the paper's objectives).
+
+``rho_e = C_e - r_e`` with ``C_e = 1 + t`` for a flow scheduled in round
+``t``.  FS-ART minimizes ``sum_e rho_e`` (equivalently the average);
+FS-MRT minimizes ``max_e rho_e``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.schedule import Schedule
+
+
+def response_times(schedule: Schedule) -> np.ndarray:
+    """Per-flow response times ``rho_e = (t_e + 1) - r_e``."""
+    return schedule.completion_times() - schedule.instance.releases()
+
+
+def total_response_time(schedule: Schedule) -> int:
+    """FS-ART objective ``sum_e rho_e``."""
+    if schedule.instance.num_flows == 0:
+        return 0
+    return int(response_times(schedule).sum())
+
+
+def average_response_time(schedule: Schedule) -> float:
+    """``(1/n) sum_e rho_e`` (0.0 for an empty instance)."""
+    n = schedule.instance.num_flows
+    if n == 0:
+        return 0.0
+    return total_response_time(schedule) / n
+
+
+def max_response_time(schedule: Schedule) -> int:
+    """FS-MRT objective ``max_e rho_e`` (0 for an empty instance)."""
+    if schedule.instance.num_flows == 0:
+        return 0
+    return int(response_times(schedule).max())
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """Summary statistics of a schedule, for reporting and experiments."""
+
+    num_flows: int
+    total_response: int
+    average_response: float
+    max_response: int
+    makespan: int
+    max_augmentation: int
+
+    @staticmethod
+    def of(schedule: Schedule) -> "ScheduleMetrics":
+        """Compute all metrics of ``schedule``."""
+        return ScheduleMetrics(
+            num_flows=schedule.instance.num_flows,
+            total_response=total_response_time(schedule),
+            average_response=average_response_time(schedule),
+            max_response=max_response_time(schedule),
+            makespan=schedule.makespan(),
+            max_augmentation=schedule.max_augmentation(),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.num_flows} total_rt={self.total_response} "
+            f"avg_rt={self.average_response:.3f} max_rt={self.max_response} "
+            f"makespan={self.makespan} extra_cap={self.max_augmentation}"
+        )

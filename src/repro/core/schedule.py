@@ -1,0 +1,183 @@
+"""Schedules: round assignments for flows, with validation.
+
+A :class:`Schedule` maps every flow (by fid) to the round in which it runs.
+``validate_schedule`` checks the paper's schedule conditions (Section 2):
+
+1. every flow is scheduled (exactly one round here — flows are atomic);
+2. no flow runs before its release round;
+3. for every port ``p`` and round ``t``, the total demand of scheduled
+   flows incident on ``p`` is at most ``c_p`` (optionally an augmented
+   capacity, for the resource-augmentation algorithms).
+
+Completion time follows the paper's convention ``C_e = 1 + t`` (a flow
+scheduled in round ``t`` occupies the window ``[t, t+1)``), so the response
+time of a flow scheduled at its release round is 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.core.switch import Switch
+
+
+class ScheduleError(ValueError):
+    """Raised when a schedule violates a validity condition."""
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An assignment of flows to rounds.
+
+    Attributes
+    ----------
+    instance:
+        The instance this schedule solves.
+    assignment:
+        ``assignment[fid] = t`` — round of flow ``fid``; length ``n``.
+    """
+
+    instance: Instance
+    assignment: np.ndarray = field(repr=False)
+
+    @staticmethod
+    def from_mapping(instance: Instance, rounds: Mapping[int, int]) -> "Schedule":
+        """Build from a ``{fid: round}`` mapping covering every flow."""
+        n = instance.num_flows
+        assignment = np.full(n, -1, dtype=np.int64)
+        for fid, t in rounds.items():
+            if not 0 <= fid < n:
+                raise ScheduleError(f"unknown fid {fid}")
+            assignment[fid] = t
+        if (assignment < 0).any():
+            missing = np.flatnonzero(assignment < 0)[:5].tolist()
+            raise ScheduleError(f"flows missing from schedule (first few): {missing}")
+        return Schedule(instance, assignment)
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.assignment, dtype=np.int64)
+        if arr.shape != (self.instance.num_flows,):
+            raise ScheduleError(
+                f"assignment must have shape ({self.instance.num_flows},), "
+                f"got {arr.shape}"
+            )
+        object.__setattr__(self, "assignment", arr)
+        arr.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    def round_of(self, fid: int) -> int:
+        """The round in which flow ``fid`` runs."""
+        return int(self.assignment[fid])
+
+    def completion_times(self) -> np.ndarray:
+        """``C_e = 1 + t`` per flow."""
+        return self.assignment + 1
+
+    def makespan(self) -> int:
+        """Last occupied round plus one (i.e. max completion time)."""
+        if self.instance.num_flows == 0:
+            return 0
+        return int(self.assignment.max()) + 1
+
+    def rounds_used(self) -> Dict[int, list[int]]:
+        """``{round: [fids scheduled in that round]}``."""
+        buckets: Dict[int, list[int]] = {}
+        for fid, t in enumerate(self.assignment):
+            buckets.setdefault(int(t), []).append(fid)
+        return buckets
+
+    # ------------------------------------------------------------------
+    # Load computation
+    # ------------------------------------------------------------------
+
+    def port_round_loads(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-(port, round) demand totals.
+
+        Returns ``(in_loads, out_loads)`` with shapes ``(m, H)`` and
+        ``(m', H)`` where ``H = makespan()``.
+        """
+        inst = self.instance
+        H = self.makespan()
+        in_loads = np.zeros((inst.switch.num_inputs, max(H, 1)), dtype=np.int64)
+        out_loads = np.zeros((inst.switch.num_outputs, max(H, 1)), dtype=np.int64)
+        if inst.num_flows:
+            srcs, dsts = inst.srcs(), inst.dsts()
+            demands = inst.demands()
+            np.add.at(in_loads, (srcs, self.assignment), demands)
+            np.add.at(out_loads, (dsts, self.assignment), demands)
+        return in_loads, out_loads
+
+    def max_augmentation(self) -> int:
+        """Largest additive capacity excess used by this schedule.
+
+        0 means the schedule is feasible for the instance's own switch;
+        ``k > 0`` means some port in some round carries ``c_p + k`` demand.
+        """
+        in_loads, out_loads = self.port_round_loads()
+        in_excess = in_loads - self.instance.switch.input_capacities[:, None]
+        out_excess = out_loads - self.instance.switch.output_capacities[:, None]
+        return int(max(in_excess.max(initial=0), out_excess.max(initial=0)))
+
+
+def validate_schedule(
+    schedule: Schedule,
+    capacity_switch: Optional[Switch] = None,
+) -> None:
+    """Raise :class:`ScheduleError` unless ``schedule`` is valid.
+
+    Parameters
+    ----------
+    capacity_switch:
+        Capacities to validate against; defaults to the instance's own
+        switch.  Resource-augmentation algorithms pass
+        ``instance.switch.augmented(...)`` here.
+    """
+    inst = schedule.instance
+    switch = capacity_switch if capacity_switch is not None else inst.switch
+    if switch.num_inputs != inst.switch.num_inputs or (
+        switch.num_outputs != inst.switch.num_outputs
+    ):
+        raise ScheduleError("capacity_switch port counts differ from instance")
+
+    releases = inst.releases()
+    early = schedule.assignment < releases
+    if early.any():
+        fid = int(np.flatnonzero(early)[0])
+        raise ScheduleError(
+            f"flow {fid} scheduled at round {schedule.assignment[fid]} "
+            f"before its release {releases[fid]}"
+        )
+
+    in_loads, out_loads = schedule.port_round_loads()
+    in_over = in_loads > switch.input_capacities[:, None]
+    if in_over.any():
+        p, t = np.argwhere(in_over)[0]
+        raise ScheduleError(
+            f"input port {p} overloaded at round {t}: "
+            f"load {in_loads[p, t]} > capacity {switch.input_capacities[p]}"
+        )
+    out_over = out_loads > switch.output_capacities[:, None]
+    if out_over.any():
+        q, t = np.argwhere(out_over)[0]
+        raise ScheduleError(
+            f"output port {q} overloaded at round {t}: "
+            f"load {out_loads[q, t]} > capacity {switch.output_capacities[q]}"
+        )
+
+
+def is_valid_schedule(
+    schedule: Schedule, capacity_switch: Optional[Switch] = None
+) -> bool:
+    """Boolean form of :func:`validate_schedule`."""
+    try:
+        validate_schedule(schedule, capacity_switch)
+    except ScheduleError:
+        return False
+    return True

@@ -1,0 +1,34 @@
+"""Experiment harness reproducing the paper's evaluation (§5.2, Appendix A).
+
+* :mod:`repro.experiments.config` — sweep configurations (paper-scale and
+  laptop-scale defaults with identical load ratios);
+* :mod:`repro.experiments.harness` — runs the heuristics and LP bounds
+  over the sweep; one run feeds both figures (as in the paper);
+* :mod:`repro.experiments.fig6` / :mod:`repro.experiments.fig7` — the
+  average- and maximum-response-time views (Figures 6 and 7);
+* :mod:`repro.experiments.tables` — ASCII series tables.
+"""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    default_config,
+    paper_scale_config,
+    resolve_config,
+)
+from repro.experiments.harness import CellResult, SweepResult, run_sweep
+from repro.experiments.fig6 import fig6_series, render_fig6
+from repro.experiments.fig7 import fig7_series, render_fig7
+
+__all__ = [
+    "ExperimentConfig",
+    "default_config",
+    "paper_scale_config",
+    "resolve_config",
+    "run_sweep",
+    "SweepResult",
+    "CellResult",
+    "fig6_series",
+    "render_fig6",
+    "fig7_series",
+    "render_fig7",
+]

@@ -1,0 +1,101 @@
+"""Experiment configurations.
+
+The paper: 150×150 unit-capacity switch; ``M ∈ {50, 100, 150, 300, 600}``
+mean arrivals/round (per-port loads 1/3, 2/3, 1, 2, 4); generation
+lengths ``T ∈ {10, 12, 14, 16, 18, 20, 40, 60, 80, 100}``; 10 trials per
+cell; LP baselines only for ``T <= 20`` (Gurobi needed >3h beyond that).
+
+The default config scales the switch down to 24 ports while keeping the
+**same per-port load ratios**, which is what determines the queueing
+behaviour and the heuristic ordering; set the environment variable
+``REPRO_PAPER_SCALE=1`` (or call :func:`paper_scale_config`) for the full
+150-port runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Sequence
+
+#: Per-port load ratios of the paper's five M values (M / m).
+PAPER_LOAD_RATIOS: tuple[float, ...] = (1 / 3, 2 / 3, 1.0, 2.0, 4.0)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters of a Figure 6/7 sweep.
+
+    Attributes
+    ----------
+    num_ports:
+        Switch size ``m`` (square, unit capacities).
+    load_ratios:
+        Mean arrivals per round per port; ``M = ratio * m``.
+    generation_rounds:
+        The ``T`` values (x-axis of the figures).
+    trials:
+        Instances per (M, T) cell; results are averaged (paper: 10).
+    lp_round_limit:
+        Compute LP baselines only for ``T <=`` this (paper: 20).
+    seed:
+        Root seed; every cell derives its own stream.
+    policies:
+        Which heuristics to run.
+    """
+
+    num_ports: int = 24
+    load_ratios: Sequence[float] = PAPER_LOAD_RATIOS
+    generation_rounds: Sequence[int] = (10, 12, 14, 16, 18, 20, 40, 60, 80, 100)
+    trials: int = 10
+    lp_round_limit: int = 20
+    seed: int = 2020
+    policies: Sequence[str] = ("MaxCard", "MinRTime", "MaxWeight")
+
+    def arrival_means(self) -> list[float]:
+        """The ``M`` values of this configuration."""
+        return [ratio * self.num_ports for ratio in self.load_ratios]
+
+
+def default_config(**overrides) -> ExperimentConfig:
+    """Laptop-scale config: 24 ports, 3 trials, short T grid."""
+    base = dict(
+        num_ports=24,
+        generation_rounds=(10, 12, 14, 16, 18, 20, 40),
+        trials=3,
+        lp_round_limit=14,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def smoke_config(**overrides) -> ExperimentConfig:
+    """Tiny config for tests and CI (seconds end-to-end)."""
+    base = dict(
+        num_ports=8,
+        load_ratios=(1 / 3, 1.0, 2.0),
+        generation_rounds=(4, 6),
+        trials=2,
+        lp_round_limit=6,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def paper_scale_config(**overrides) -> ExperimentConfig:
+    """The paper's full configuration (hours of runtime for the LPs)."""
+    base = dict(
+        num_ports=150,
+        generation_rounds=(10, 12, 14, 16, 18, 20, 40, 60, 80, 100),
+        trials=10,
+        lp_round_limit=20,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def resolve_config(**overrides) -> ExperimentConfig:
+    """Honor ``REPRO_PAPER_SCALE=1``; otherwise the laptop default."""
+    if os.environ.get("REPRO_PAPER_SCALE", "").strip() in ("1", "true", "yes"):
+        return paper_scale_config(**overrides)
+    return default_config(**overrides)

@@ -1,0 +1,52 @@
+"""Figure 6: average response time of the heuristics vs the LP bound.
+
+The paper's findings this module lets you re-check (§5.2.3):
+
+* MaxWeight is overall best and MinRTime worst for average response;
+* at high load (large M) the heuristics converge to each other;
+* every heuristic stays within a factor ~2 of the LP (1)–(4) bound, and
+  the gap narrows as M grows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.harness import SweepResult
+from repro.experiments.tables import render_series_table
+
+
+def fig6_series(
+    sweep: SweepResult, arrival_mean: float
+) -> Tuple[List[int], Dict[str, List[Optional[float]]]]:
+    """Extract one Figure 6 panel: avg response vs T for a given M."""
+    config = sweep.config
+    xs = list(config.generation_rounds)
+    series: Dict[str, List[Optional[float]]] = {
+        p: [] for p in config.policies
+    }
+    series["LP"] = []
+    for rounds in xs:
+        cell = sweep.cell(arrival_mean, rounds)
+        for p in config.policies:
+            series[p].append(cell.avg_response[p])
+        series["LP"].append(cell.lp_avg_bound)
+    return xs, series
+
+
+def render_fig6(sweep: SweepResult) -> str:
+    """Render all Figure 6 panels (one per M)."""
+    parts = []
+    for mean in sweep.config.arrival_means():
+        xs, series = fig6_series(sweep, mean)
+        load = mean / sweep.config.num_ports
+        parts.append(
+            render_series_table(
+                f"Figure 6 panel — average response time, "
+                f"M={mean:g} (load {load:.2f}/port/round)",
+                "T",
+                xs,
+                series,
+            )
+        )
+    return "\n\n".join(parts)

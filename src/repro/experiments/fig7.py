@@ -1,0 +1,53 @@
+"""Figure 7: maximum response time of the heuristics vs the LP bound.
+
+The paper's findings this module lets you re-check (§5.2.3):
+
+* MinRTime is consistently best (near the LP bound in some cells);
+* MaxWeight is the worst of the three for max response;
+* all heuristics stay within a factor ~2.5 of the binary-searched LP
+  (19)–(21) bound, with the gap *growing* with M (unlike Figure 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.harness import SweepResult
+from repro.experiments.tables import render_series_table
+
+
+def fig7_series(
+    sweep: SweepResult, arrival_mean: float
+) -> Tuple[List[int], Dict[str, List[Optional[float]]]]:
+    """Extract one Figure 7 panel: max response vs T for a given M."""
+    config = sweep.config
+    xs = list(config.generation_rounds)
+    series: Dict[str, List[Optional[float]]] = {
+        p: [] for p in config.policies
+    }
+    series["LP"] = []
+    for rounds in xs:
+        cell = sweep.cell(arrival_mean, rounds)
+        for p in config.policies:
+            series[p].append(cell.max_response[p])
+        series["LP"].append(cell.lp_max_bound)
+    return xs, series
+
+
+def render_fig7(sweep: SweepResult) -> str:
+    """Render all Figure 7 panels (one per M)."""
+    parts = []
+    for mean in sweep.config.arrival_means():
+        xs, series = fig7_series(sweep, mean)
+        load = mean / sweep.config.num_ports
+        parts.append(
+            render_series_table(
+                f"Figure 7 panel — maximum response time, "
+                f"M={mean:g} (load {load:.2f}/port/round)",
+                "T",
+                xs,
+                series,
+                precision=1,
+            )
+        )
+    return "\n\n".join(parts)

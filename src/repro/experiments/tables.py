@@ -1,0 +1,41 @@
+"""ASCII rendering of experiment series (the repo's stand-in for plots)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def render_series_table(
+    title: str,
+    x_label: str,
+    x_values: Sequence[int],
+    series: Dict[str, List[Optional[float]]],
+    precision: int = 2,
+) -> str:
+    """One panel: rows = series (heuristics + LP), columns = x values.
+
+    ``None`` entries render as ``-`` (e.g. LP bounds beyond the round
+    limit), matching the paper's figures where the LP curve stops at
+    T = 20.
+    """
+    col_width = max(8, precision + 6)
+    lines = [title]
+    header = f"{x_label:>10} |" + "".join(
+        f"{x:>{col_width}}" for x in x_values
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, values in series.items():
+        cells = "".join(
+            f"{v:>{col_width}.{precision}f}" if v is not None else f"{'-':>{col_width}}"
+            for v in values
+        )
+        lines.append(f"{name:>10} |{cells}")
+    return "\n".join(lines)
+
+
+def render_panels(
+    panels: List[Tuple[str, str]], separator: str = "\n\n"
+) -> str:
+    """Join multiple rendered panels (one per M, like the paper's grids)."""
+    return separator.join(body for _, body in panels)

@@ -1,0 +1,25 @@
+"""Linear-programming substrate (the paper used Gurobi 8.1).
+
+* :mod:`repro.lp.model` — a sparse LP model builder with named variables;
+* :mod:`repro.lp.simplex` — a self-contained two-phase primal simplex
+  (Bland's rule, dense tableau) that returns optimal *basic* solutions;
+* :mod:`repro.lp.solver` — backend dispatch between our simplex and SciPy
+  HiGHS (``highs-ds`` when a vertex solution is required, as in the
+  iterative-rounding pipelines).
+"""
+
+from repro.lp.model import Constraint, LinearProgram, Sense
+from repro.lp.result import LPResult, LPStatus
+from repro.lp.solver import solve_lp
+from repro.lp.simplex import SimplexResult, simplex_solve
+
+__all__ = [
+    "LinearProgram",
+    "Constraint",
+    "Sense",
+    "LPResult",
+    "LPStatus",
+    "solve_lp",
+    "simplex_solve",
+    "SimplexResult",
+]

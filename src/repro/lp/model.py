@@ -1,0 +1,225 @@
+"""Sparse LP model builder.
+
+The scheduling LPs (paper equations (1)–(12) and (19)–(21)) have one
+variable per (flow, round) pair and constraints indexed by flows and by
+(port, interval) pairs.  :class:`LinearProgram` lets the algorithm code
+build these by name, then exports SciPy-ready sparse arrays.
+
+All models are minimization; use negated coefficients to maximize.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+
+class Sense(enum.Enum):
+    """Constraint sense."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass
+class Constraint:
+    """One linear constraint ``sum coef_i * x_i  (sense)  rhs``."""
+
+    name: Hashable
+    coeffs: Dict[int, float]
+    sense: Sense
+    rhs: float
+
+
+class LinearProgram:
+    """Incrementally built minimization LP with named variables.
+
+    Variables have lower bound 0 and upper bound ``+inf`` by default
+    (all the paper's LPs are of this shape); per-variable bounds can be
+    overridden.
+    """
+
+    def __init__(self) -> None:
+        self._var_names: List[Hashable] = []
+        self._var_index: Dict[Hashable, int] = {}
+        self._objective: List[float] = []
+        self._lower: List[float] = []
+        self._upper: List[float] = []
+        self.constraints: List[Constraint] = []
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+
+    def add_variable(
+        self,
+        name: Hashable,
+        objective: float = 0.0,
+        lower: float = 0.0,
+        upper: float = np.inf,
+    ) -> int:
+        """Add variable ``name``; returns its column index."""
+        if name in self._var_index:
+            raise ValueError(f"duplicate variable {name!r}")
+        idx = len(self._var_names)
+        self._var_index[name] = idx
+        self._var_names.append(name)
+        self._objective.append(float(objective))
+        self._lower.append(float(lower))
+        self._upper.append(float(upper))
+        return idx
+
+    def var(self, name: Hashable) -> int:
+        """Column index of variable ``name``."""
+        return self._var_index[name]
+
+    def has_var(self, name: Hashable) -> bool:
+        """Whether ``name`` is a variable of this model."""
+        return name in self._var_index
+
+    @property
+    def num_vars(self) -> int:
+        """Number of variables."""
+        return len(self._var_names)
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of constraints."""
+        return len(self.constraints)
+
+    @property
+    def variable_names(self) -> List[Hashable]:
+        """Variable names in column order."""
+        return list(self._var_names)
+
+    def set_objective(self, name: Hashable, coefficient: float) -> None:
+        """Set the objective coefficient of an existing variable."""
+        self._objective[self.var(name)] = float(coefficient)
+
+    # ------------------------------------------------------------------
+    # Constraints
+    # ------------------------------------------------------------------
+
+    def add_constraint(
+        self,
+        name: Hashable,
+        coeffs: Dict[Hashable, float],
+        sense: Sense,
+        rhs: float,
+    ) -> Constraint:
+        """Add ``sum coeffs[v] * v  (sense)  rhs`` over named variables."""
+        indexed = {self.var(v): float(c) for v, c in coeffs.items() if c != 0.0}
+        constraint = Constraint(name, indexed, sense, float(rhs))
+        self.constraints.append(constraint)
+        return constraint
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def objective_vector(self) -> np.ndarray:
+        """Objective coefficients as a dense vector."""
+        return np.asarray(self._objective, dtype=np.float64)
+
+    def bounds(self) -> List[Tuple[float, float]]:
+        """Per-variable ``(lower, upper)`` bounds."""
+        return list(zip(self._lower, self._upper))
+
+    def to_scipy_arrays(
+        self,
+    ) -> Tuple[
+        np.ndarray,
+        Optional[sparse.csr_matrix],
+        Optional[np.ndarray],
+        Optional[sparse.csr_matrix],
+        Optional[np.ndarray],
+    ]:
+        """Export ``(c, A_ub, b_ub, A_eq, b_eq)`` for ``scipy.linprog``.
+
+        ``>=`` rows are negated into ``<=`` form.
+        """
+        n = self.num_vars
+        ub_rows: List[Tuple[Dict[int, float], float]] = []
+        eq_rows: List[Tuple[Dict[int, float], float]] = []
+        for con in self.constraints:
+            if con.sense is Sense.LE:
+                ub_rows.append((con.coeffs, con.rhs))
+            elif con.sense is Sense.GE:
+                ub_rows.append(({i: -c for i, c in con.coeffs.items()}, -con.rhs))
+            else:
+                eq_rows.append((con.coeffs, con.rhs))
+
+        def build(rows: List[Tuple[Dict[int, float], float]]):
+            if not rows:
+                return None, None
+            data, row_idx, col_idx, rhs = [], [], [], []
+            for r, (coeffs, b) in enumerate(rows):
+                rhs.append(b)
+                for c, val in coeffs.items():
+                    row_idx.append(r)
+                    col_idx.append(c)
+                    data.append(val)
+            mat = sparse.csr_matrix(
+                (data, (row_idx, col_idx)), shape=(len(rows), n)
+            )
+            return mat, np.asarray(rhs, dtype=np.float64)
+
+        a_ub, b_ub = build(ub_rows)
+        a_eq, b_eq = build(eq_rows)
+        return self.objective_vector(), a_ub, b_ub, a_eq, b_eq
+
+    def to_dense_standard_form(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[Hashable]]:
+        """Export ``min c'x s.t. Ax (<=|==) b, x >= 0`` in dense slack form.
+
+        Converts every row to an equality by adding slack/surplus columns,
+        producing ``(A, b, c)`` with ``A`` dense — the input format of
+        :func:`repro.lp.simplex.simplex_solve`.  Finite upper bounds become
+        extra ``<=`` rows.  Returns the slack-free variable names so
+        callers can slice the structural part of the solution.
+
+        Only suitable for small/medium models (dense memory).
+        """
+        extra_rows: List[Tuple[Dict[int, float], Sense, float]] = []
+        for j, (lo, hi) in enumerate(self.bounds()):
+            if lo != 0.0:
+                raise ValueError(
+                    "dense standard form requires lower bounds of 0 "
+                    f"(variable {self._var_names[j]!r} has {lo})"
+                )
+            if np.isfinite(hi):
+                extra_rows.append(({j: 1.0}, Sense.LE, hi))
+
+        rows = [(c.coeffs, c.sense, c.rhs) for c in self.constraints] + extra_rows
+        n_struct = self.num_vars
+        n_slack = sum(1 for _, s, _ in rows if s is not Sense.EQ)
+        n_total = n_struct + n_slack
+        A = np.zeros((len(rows), n_total))
+        b = np.zeros(len(rows))
+        c_vec = np.zeros(n_total)
+        c_vec[:n_struct] = self.objective_vector()
+        slack = n_struct
+        for r, (coeffs, sense, rhs) in enumerate(rows):
+            for j, val in coeffs.items():
+                A[r, j] = val
+            b[r] = rhs
+            if sense is Sense.LE:
+                A[r, slack] = 1.0
+                slack += 1
+            elif sense is Sense.GE:
+                A[r, slack] = -1.0
+                slack += 1
+        return A, b, c_vec, list(self._var_names)
+
+    def solution_by_name(self, x: np.ndarray) -> Dict[Hashable, float]:
+        """Map a solution vector back to ``{variable name: value}``."""
+        return {name: float(x[i]) for name, i in self._var_index.items()}
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LinearProgram({self.num_vars} vars, {self.num_constraints} rows)"

@@ -1,0 +1,116 @@
+"""Unified LP solve with backend dispatch.
+
+Backends
+--------
+``"simplex"``
+    Our two-phase dense simplex (:mod:`repro.lp.simplex`).  Always
+    returns a vertex; intended for small models and cross-checking.
+``"highs-ds"``
+    SciPy HiGHS dual simplex.  Returns basic (vertex) solutions; this is
+    the default for the iterative-rounding pipelines (the paper used
+    Gurobi — any optimal basic solution is equivalent for the rounding
+    arguments).
+``"highs"``
+    SciPy HiGHS automatic choice (may use interior point); fastest for
+    pure lower-bound computations where only the objective value matters.
+``"auto"``
+    ``highs-ds`` when a vertex is requested, else ``highs``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import optimize
+
+from repro.lp.model import LinearProgram
+from repro.lp.result import LPResult, LPStatus
+from repro.lp.simplex import simplex_solve
+
+_SCIPY_STATUS = {
+    0: LPStatus.OPTIMAL,
+    1: LPStatus.ERROR,  # iteration limit
+    2: LPStatus.INFEASIBLE,
+    3: LPStatus.UNBOUNDED,
+    4: LPStatus.ERROR,
+}
+
+_DENSE_SIMPLEX_LIMIT = 4000  # max variables for the dense backend
+
+
+def solve_lp(
+    lp: LinearProgram,
+    backend: str = "auto",
+    need_vertex: bool = False,
+) -> LPResult:
+    """Solve a :class:`LinearProgram` (minimization).
+
+    Parameters
+    ----------
+    lp:
+        The model to solve.
+    backend:
+        ``"auto"``, ``"simplex"``, ``"highs"``, or ``"highs-ds"``.
+    need_vertex:
+        Require a basic solution (iterative rounding).  With
+        ``backend="auto"`` this selects ``highs-ds``.
+
+    Returns
+    -------
+    LPResult
+    """
+    if lp.num_vars == 0:
+        return LPResult(LPStatus.OPTIMAL, 0.0, np.zeros(0), True, backend)
+    if backend == "auto":
+        backend = "highs-ds" if need_vertex else "highs"
+    if backend == "simplex":
+        return _solve_simplex(lp)
+    if backend in ("highs", "highs-ds"):
+        return _solve_scipy(lp, backend)
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+def _solve_simplex(lp: LinearProgram) -> LPResult:
+    """Dense two-phase simplex backend."""
+    if lp.num_vars > _DENSE_SIMPLEX_LIMIT:
+        raise ValueError(
+            f"simplex backend limited to {_DENSE_SIMPLEX_LIMIT} variables "
+            f"(model has {lp.num_vars}); use highs-ds"
+        )
+    A, b, c, _names = lp.to_dense_standard_form()
+    res = simplex_solve(A, b, c)
+    if res.status is not LPStatus.OPTIMAL:
+        return LPResult(res.status, backend="simplex")
+    x = res.x[: lp.num_vars]
+    return LPResult(
+        LPStatus.OPTIMAL,
+        objective=float(lp.objective_vector() @ x),
+        x=x,
+        is_vertex=True,
+        backend="simplex",
+    )
+
+
+def _solve_scipy(lp: LinearProgram, method: str) -> LPResult:
+    """SciPy HiGHS backend (sparse)."""
+    c, a_ub, b_ub, a_eq, b_eq = lp.to_scipy_arrays()
+    res = optimize.linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=lp.bounds(),
+        method=method,
+    )
+    status = _SCIPY_STATUS.get(res.status, LPStatus.ERROR)
+    if status is not LPStatus.OPTIMAL:
+        return LPResult(status, backend=method)
+    return LPResult(
+        LPStatus.OPTIMAL,
+        objective=float(res.fun),
+        x=np.asarray(res.x, dtype=np.float64),
+        is_vertex=(method == "highs-ds"),
+        backend=method,
+    )

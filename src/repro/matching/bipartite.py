@@ -1,0 +1,115 @@
+"""A minimal bipartite multigraph container.
+
+Vertices are integers ``0..n_left-1`` on the left and ``0..n_right-1`` on
+the right.  Parallel edges are allowed (the Theorem 1 conversion produces
+multigraphs: several unit flows between the same port pair within one
+window).  Edges carry an opaque payload (typically a flow id) so matchings
+and colorings can be mapped back to flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class BipartiteMultigraph:
+    """Edge-list bipartite multigraph with adjacency indexing.
+
+    Attributes
+    ----------
+    n_left / n_right:
+        Vertex counts of the two sides.
+    edges:
+        List of ``(u, v)`` pairs; index into this list is the edge id.
+    payloads:
+        ``payloads[eid]`` is caller data attached to edge ``eid``.
+    """
+
+    n_left: int
+    n_right: int
+    edges: List[tuple[int, int]] = field(default_factory=list)
+    payloads: List[Any] = field(default_factory=list)
+
+    def add_edge(self, u: int, v: int, payload: Any = None) -> int:
+        """Append edge ``(u, v)``; returns its edge id."""
+        if not 0 <= u < self.n_left:
+            raise ValueError(f"left vertex {u} out of range [0, {self.n_left})")
+        if not 0 <= v < self.n_right:
+            raise ValueError(f"right vertex {v} out of range [0, {self.n_right})")
+        self.edges.append((u, v))
+        self.payloads.append(payload)
+        return len(self.edges) - 1
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges (with multiplicity)."""
+        return len(self.edges)
+
+    def left_degrees(self) -> np.ndarray:
+        """Degree (with multiplicity) of each left vertex."""
+        deg = np.zeros(self.n_left, dtype=np.int64)
+        for u, _ in self.edges:
+            deg[u] += 1
+        return deg
+
+    def right_degrees(self) -> np.ndarray:
+        """Degree (with multiplicity) of each right vertex."""
+        deg = np.zeros(self.n_right, dtype=np.int64)
+        for _, v in self.edges:
+            deg[v] += 1
+        return deg
+
+    def max_degree(self) -> int:
+        """Δ over both sides (0 when edgeless)."""
+        if not self.edges:
+            return 0
+        return int(max(self.left_degrees().max(), self.right_degrees().max()))
+
+    def adjacency_left(self) -> List[List[int]]:
+        """``adj[u]`` = edge ids incident on left vertex ``u``."""
+        adj: List[List[int]] = [[] for _ in range(self.n_left)]
+        for eid, (u, _) in enumerate(self.edges):
+            adj[u].append(eid)
+        return adj
+
+    def adjacency_right(self) -> List[List[int]]:
+        """``adj[v]`` = edge ids incident on right vertex ``v``."""
+        adj: List[List[int]] = [[] for _ in range(self.n_right)]
+        for eid, (_, v) in enumerate(self.edges):
+            adj[v].append(eid)
+        return adj
+
+    def subgraph(self, edge_ids: Iterable[int]) -> "BipartiteMultigraph":
+        """Graph on the same vertex sets containing only ``edge_ids``."""
+        sub = BipartiteMultigraph(self.n_left, self.n_right)
+        for eid in edge_ids:
+            u, v = self.edges[eid]
+            sub.add_edge(u, v, self.payloads[eid])
+        return sub
+
+    @staticmethod
+    def from_edges(
+        n_left: int,
+        n_right: int,
+        edges: Iterable[tuple[int, int]],
+        payloads: Optional[Iterable[Any]] = None,
+    ) -> "BipartiteMultigraph":
+        """Build a graph from an edge iterable (payloads optional)."""
+        g = BipartiteMultigraph(n_left, n_right)
+        if payloads is None:
+            for u, v in edges:
+                g.add_edge(u, v)
+        else:
+            for (u, v), payload in zip(edges, payloads):
+                g.add_edge(u, v, payload)
+        return g
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BipartiteMultigraph({self.n_left}+{self.n_right} vertices, "
+            f"{self.n_edges} edges, Δ={self.max_degree()})"
+        )

@@ -1,0 +1,144 @@
+"""Birkhoff decomposition of fractional rate matrices.
+
+Remark 3.2 of the paper observes that the optimal solution of LP (1)–(4)
+is a *non-integral schedule*: for each round, a doubly-substochastic
+rate matrix ``R`` (row/column sums at most 1 after normalizing by port
+capacity).  The classical way to realize such rates on a crossbar — and
+the core of the Birkhoff–von Neumann switching literature the paper
+cites — is to decompose ``R`` into a convex combination of (partial)
+permutation matrices: ``R = sum_k lambda_k P_k`` with
+``sum_k lambda_k <= 1``.
+
+Algorithm: pad ``R`` to the doubly *stochastic* matrix
+
+    D = [[ R,            diag(1 - rowsum) ],
+         [ diag(1-colsum),      R^T       ]]
+
+(each line of ``D`` sums to exactly 1), then run the constructive
+Birkhoff proof on ``D``: the support of a doubly stochastic matrix
+always contains a perfect matching (Hall), so repeatedly extract one
+with Hopcroft–Karp, peel off its minimum entry, and recurse.  Each peel
+zeroes at least one entry, so there are at most ``nnz(D)`` terms, and
+the peel weights sum to exactly 1.  Restricting each permutation to the
+``R`` block yields the partial matchings of the substochastic input.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.matching.bipartite import BipartiteMultigraph
+from repro.matching.hopcroft_karp import max_cardinality_matching
+
+_TOL = 1e-9
+
+
+def birkhoff_decomposition(
+    rates: np.ndarray, max_terms: int | None = None
+) -> List[Tuple[float, List[Tuple[int, int]]]]:
+    """Decompose a doubly-substochastic matrix into weighted matchings.
+
+    Parameters
+    ----------
+    rates:
+        ``(m, m')`` nonnegative matrix with every row and column sum
+        ``<= 1`` (normalize by port capacity first for capacitated
+        ports).
+    max_terms:
+        Safety cap on the number of extracted terms (default
+        ``nnz(D) + 1`` for the padded matrix ``D``).
+
+    Returns
+    -------
+    list of (weight, matching)
+        ``matching`` is a list of ``(row, col)`` pairs forming a partial
+        permutation; weights are positive and sum to **at most 1**, and
+        the weighted sum of the matchings reconstructs ``rates`` exactly
+        (up to float tolerance).  Terms whose permutation misses the
+        ``R`` block entirely (pure idle time) are omitted.
+
+    Raises
+    ------
+    ValueError
+        If the matrix is negative or a line sum exceeds 1.
+    """
+    R = np.asarray(rates, dtype=np.float64)
+    if R.ndim != 2:
+        raise ValueError(f"rates must be 2-D, got shape {R.shape}")
+    if (R < -_TOL).any():
+        raise ValueError("rates must be nonnegative")
+    row_sums = R.sum(axis=1)
+    col_sums = R.sum(axis=0)
+    if (row_sums > 1 + 1e-7).any() or (col_sums > 1 + 1e-7).any():
+        raise ValueError("row/column sums must be <= 1 (substochastic)")
+    m, mp = R.shape
+
+    # Doubly stochastic padding (see module docstring).
+    n = m + mp
+    D = np.zeros((n, n))
+    D[:m, :mp] = R
+    D[:m, mp:] = np.diag(np.clip(1.0 - row_sums, 0.0, None))
+    D[m:, :mp] = np.diag(np.clip(1.0 - col_sums, 0.0, None))
+    D[m:, mp:] = R.T
+
+    if max_terms is None:
+        max_terms = int((D > _TOL).sum()) + 1
+
+    terms: List[Tuple[float, List[Tuple[int, int]]]] = []
+    for _ in range(max_terms):
+        support = np.argwhere(D > _TOL)
+        if support.size == 0:
+            break
+        graph = BipartiteMultigraph(n, n)
+        for u, v in support:
+            graph.add_edge(int(u), int(v))
+        matching = max_cardinality_matching(graph)
+        pairs = [graph.edges[eid] for eid in matching.values()]
+        if len(pairs) < n:
+            # Residual mass too small to matter; float dust remains.
+            if D.max() < 1e-7:
+                break
+            raise AssertionError(
+                "no perfect matching on a doubly stochastic support — "
+                "numerical degeneration"
+            )
+        weight = float(min(D[u, v] for u, v in pairs))
+        for u, v in pairs:
+            D[u, v] -= weight
+            if D[u, v] < _TOL:
+                D[u, v] = 0.0
+        real = [(u, v) for u, v in pairs if u < m and v < mp]
+        if real:
+            terms.append((weight, real))
+    return terms
+
+
+def reconstruct(
+    shape: Tuple[int, int],
+    terms: List[Tuple[float, List[Tuple[int, int]]]],
+) -> np.ndarray:
+    """Inverse of :func:`birkhoff_decomposition` (testing helper)."""
+    R = np.zeros(shape)
+    for weight, matching in terms:
+        for u, v in matching:
+            R[u, v] += weight
+    return R
+
+
+def rates_from_lp_solution(
+    values: dict, num_inputs: int, num_outputs: int, round_: int, flows
+) -> np.ndarray:
+    """Assemble the round-``t`` rate matrix from LP (1)–(4) variables.
+
+    ``values`` maps ``("b", fid, t)`` to the fractional amount of flow
+    ``fid`` scheduled in round ``t``; entries are accumulated into the
+    (src, dst) cell (unit capacities assumed — normalize otherwise).
+    """
+    R = np.zeros((num_inputs, num_outputs))
+    for (tag, fid, t), val in values.items():
+        if tag == "b" and t == round_ and val > _TOL:
+            flow = flows[fid]
+            R[flow.src, flow.dst] += val
+    return R

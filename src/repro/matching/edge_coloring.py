@@ -1,0 +1,147 @@
+"""König Δ-edge-coloring of bipartite multigraphs.
+
+König's theorem: every bipartite multigraph with maximum degree Δ admits a
+proper edge coloring with exactly Δ colors.  This is the constructive core
+of the Birkhoff–von Neumann step in Theorem 1 of the paper: a combined
+window graph of degree ``d`` decomposes into ``d`` matchings, which are
+then executed in the window's rounds.
+
+Algorithm (classical alternating-path recoloring, ``O(V E)``):
+process edges one at a time; for edge ``(u, v)`` pick a color ``alpha``
+free at ``u`` and ``beta`` free at ``v``.  If some color is free at both,
+use it.  Otherwise flip the alternating ``alpha``/``beta`` path starting at
+``v``; in a bipartite graph this path cannot end at ``u``, so after the
+flip ``alpha`` is free at both endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.matching.bipartite import BipartiteMultigraph
+
+
+def edge_color_bipartite(graph: BipartiteMultigraph) -> np.ndarray:
+    """Properly color the edges of ``graph`` with exactly Δ colors.
+
+    Returns
+    -------
+    ndarray
+        ``colors[eid] in [0, Delta)`` such that no two edges sharing a
+        vertex get the same color.  Empty array for an edgeless graph.
+    """
+    delta = graph.max_degree()
+    n_edges = graph.n_edges
+    colors = np.full(n_edges, -1, dtype=np.int64)
+    if n_edges == 0:
+        return colors
+
+    # slot[side][vertex][color] = edge id using `color` at `vertex`, or -1.
+    left_slot: List[List[int]] = [[-1] * delta for _ in range(graph.n_left)]
+    right_slot: List[List[int]] = [[-1] * delta for _ in range(graph.n_right)]
+
+    def first_free(slots: List[int]) -> int:
+        for c, eid in enumerate(slots):
+            if eid == -1:
+                return c
+        raise AssertionError("degree exceeded Delta — graph mutated?")
+
+    for eid, (u, v) in enumerate(graph.edges):
+        alpha = first_free(left_slot[u])
+        beta = first_free(right_slot[v])
+        if left_slot[u][beta] == -1:
+            # beta free at both endpoints.
+            colors[eid] = beta
+            left_slot[u][beta] = eid
+            right_slot[v][beta] = eid
+            continue
+        if right_slot[v][alpha] == -1:
+            colors[eid] = alpha
+            left_slot[u][alpha] = eid
+            right_slot[v][alpha] = eid
+            continue
+        # Flip the alpha/beta alternating path starting from v along alpha.
+        # Invariant: alpha free at u, beta free at v; path starts with the
+        # alpha-colored edge at v and alternates beta, alpha, ...
+        _flip_alternating_path(
+            graph, colors, left_slot, right_slot, v, alpha, beta
+        )
+        # Now alpha is free at v as well (its alpha edge was recolored).
+        colors[eid] = alpha
+        left_slot[u][alpha] = eid
+        right_slot[v][alpha] = eid
+
+    return colors
+
+
+def _flip_alternating_path(
+    graph: BipartiteMultigraph,
+    colors: np.ndarray,
+    left_slot: List[List[int]],
+    right_slot: List[List[int]],
+    start_right: int,
+    alpha: int,
+    beta: int,
+) -> None:
+    """Swap colors alpha <-> beta along the path leaving ``start_right``.
+
+    The path begins with the alpha-colored edge at right vertex
+    ``start_right`` and alternates.  Because the path starting at ``v``
+    with color alpha cannot reach ``u`` (that would close an odd walk in a
+    bipartite graph / would require alpha used at ``u``), flipping it frees
+    alpha at ``start_right`` without breaking properness elsewhere.
+    """
+    # Walk and collect edges of the path.
+    path_edges: List[int] = []
+    side_right = True  # current endpoint is on the right side
+    vertex = start_right
+    color = alpha
+    while True:
+        slots = right_slot[vertex] if side_right else left_slot[vertex]
+        eid = slots[color]
+        if eid == -1:
+            break
+        path_edges.append(eid)
+        u2, v2 = graph.edges[eid]
+        vertex = u2 if side_right else v2
+        side_right = not side_right
+        color = beta if color == alpha else alpha
+
+    # Un-register every path edge, then re-register with swapped colors.
+    for eid in path_edges:
+        u2, v2 = graph.edges[eid]
+        c = int(colors[eid])
+        left_slot[u2][c] = -1
+        right_slot[v2][c] = -1
+    for eid in path_edges:
+        u2, v2 = graph.edges[eid]
+        c = int(colors[eid])
+        new_c = beta if c == alpha else alpha
+        colors[eid] = new_c
+        left_slot[u2][new_c] = eid
+        right_slot[v2][new_c] = eid
+
+
+def color_classes(graph: BipartiteMultigraph, colors: np.ndarray) -> Dict[int, List[int]]:
+    """Group edge ids by color: ``{color: [eids]}`` (each class a matching)."""
+    classes: Dict[int, List[int]] = {}
+    for eid in range(graph.n_edges):
+        classes.setdefault(int(colors[eid]), []).append(eid)
+    return classes
+
+
+def is_proper_coloring(graph: BipartiteMultigraph, colors: np.ndarray) -> bool:
+    """Check that no vertex sees a repeated color."""
+    seen_left: Dict[tuple[int, int], int] = {}
+    seen_right: Dict[tuple[int, int], int] = {}
+    for eid, (u, v) in enumerate(graph.edges):
+        c = int(colors[eid])
+        if c < 0:
+            return False
+        if (u, c) in seen_left or (v, c) in seen_right:
+            return False
+        seen_left[(u, c)] = eid
+        seen_right[(v, c)] = eid
+    return True

@@ -1,0 +1,163 @@
+"""Maximum-weight bipartite matching (not necessarily perfect).
+
+The paper's **MinRTime** and **MaxWeight** heuristics both extract a
+maximum-weight matching from the waiting graph each round, with different
+edge weights (flow age, and endpoint queue sizes, respectively).
+
+Algorithm: the classical ``O(n^2 m)`` Hungarian method for the rectangular
+assignment problem, with the row-scan inner loop vectorized in NumPy
+(following the HPC guideline of pushing hot loops into array operations).
+Maximum-weight *matching* reduces to assignment by treating absent edges
+as weight 0 and discarding zero-weight pairs afterwards: with nonnegative
+weights, leaving a vertex unmatched and matching it through a weight-0
+"phantom" edge are equivalent.
+
+For the paper's 150x150 waiting graphs a call takes single-digit
+milliseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+_INF = np.inf
+
+
+def solve_dense_assignment(cost: np.ndarray) -> np.ndarray:
+    """Minimum-cost rectangular assignment (rows <= cols all assigned).
+
+    Parameters
+    ----------
+    cost:
+        ``(n, m)`` float array with ``n <= m``; every row is assigned to a
+        distinct column minimizing total cost.
+
+    Returns
+    -------
+    ndarray
+        ``col_of_row`` of shape ``(n,)``.
+
+    Notes
+    -----
+    This is the potentials formulation of the Hungarian algorithm (often
+    attributed to e-maxx): one Dijkstra-like scan per row, potentials keep
+    reduced costs nonnegative.  1-indexed sentinel column 0 tracks the
+    currently inserted row.
+    """
+    cost = np.asarray(cost, dtype=np.float64)
+    n, m = cost.shape
+    if n > m:
+        raise ValueError(f"need n <= m, got shape {cost.shape}")
+    # Potentials u (rows, 1-indexed by row+1) and v (cols, with sentinel 0).
+    u = np.zeros(n + 1)
+    v = np.zeros(m + 1)
+    p = np.zeros(m + 1, dtype=np.int64)  # p[j] = row matched to column j (0 = none)
+    way = np.zeros(m + 1, dtype=np.int64)
+
+    for i in range(1, n + 1):
+        p[0] = i
+        j0 = 0
+        minv = np.full(m + 1, _INF)
+        used = np.zeros(m + 1, dtype=bool)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            # Vectorized relaxation over all unused columns.
+            free = ~used
+            free[0] = False
+            cols = np.flatnonzero(free)
+            if cols.size:
+                cur = cost[i0 - 1, cols - 1] - u[i0] - v[cols]
+                better = cur < minv[cols]
+                upd = cols[better]
+                minv[upd] = cur[better]
+                way[upd] = j0
+                j1 = cols[np.argmin(minv[cols])]
+                delta = minv[j1]
+            else:  # pragma: no cover - cannot happen while p[j0] != 0
+                break
+            # Update potentials.
+            used_idx = np.flatnonzero(used)
+            u[p[used_idx]] += delta
+            v[used_idx] -= delta
+            minv[cols] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        # Augment along the alternating tree.
+        while j0 != 0:
+            j1 = way[j0]
+            p[j0] = p[j1]
+            j0 = j1
+
+    col_of_row = np.full(n, -1, dtype=np.int64)
+    for j in range(1, m + 1):
+        if p[j] != 0:
+            col_of_row[p[j] - 1] = j - 1
+    return col_of_row
+
+
+def max_weight_matching(
+    n_left: int,
+    n_right: int,
+    edges: Sequence[tuple[int, int]],
+    weights: Sequence[float],
+) -> Dict[int, int]:
+    """Maximum-weight matching of a bipartite graph.
+
+    Parameters
+    ----------
+    n_left / n_right:
+        Vertex counts.
+    edges:
+        ``(u, v)`` pairs; parallel edges are allowed (the heaviest copy is
+        the only one that can win).
+    weights:
+        Nonnegative weight per edge, aligned with ``edges``.
+
+    Returns
+    -------
+    dict
+        ``{left_vertex: edge_index}`` for every matched left vertex whose
+        matched edge has strictly positive weight.
+    """
+    if len(edges) != len(weights):
+        raise ValueError("edges and weights must have equal length")
+    if n_left == 0 or n_right == 0 or not edges:
+        return {}
+
+    # Dense weight matrix; keep the *heaviest* parallel edge and its id.
+    weight_mat = np.zeros((n_left, n_right))
+    eid_mat = np.full((n_left, n_right), -1, dtype=np.int64)
+    for eid, (u, v) in enumerate(edges):
+        w = float(weights[eid])
+        if w < 0:
+            raise ValueError(f"weights must be nonnegative, got {w}")
+        if not 0 <= u < n_left or not 0 <= v < n_right:
+            raise ValueError(f"edge ({u}, {v}) out of range")
+        if eid_mat[u, v] == -1 or w > weight_mat[u, v]:
+            weight_mat[u, v] = w
+            eid_mat[u, v] = eid
+
+    transposed = n_left > n_right
+    mat = weight_mat.T if transposed else weight_mat
+    # Maximize weight == minimize negated weight.
+    assignment = solve_dense_assignment(-mat)
+
+    result: Dict[int, int] = {}
+    for row, col in enumerate(assignment):
+        if col < 0:
+            continue
+        u, v = (col, row) if transposed else (row, int(col))
+        if weight_mat[u, v] > 0:
+            result[u] = int(eid_mat[u, v])
+    return result
+
+
+def matching_weight(
+    matching: Dict[int, int], weights: Sequence[float]
+) -> float:
+    """Total weight of a matching returned by :func:`max_weight_matching`."""
+    return float(sum(weights[eid] for eid in matching.values()))

@@ -1,0 +1,39 @@
+"""Maximum response time (FS-MRT) — Section 4 of the paper.
+
+* :mod:`repro.mrt.time_constrained` — the Time-Constrained Flow
+  Scheduling generalization (per-flow active-round sets ``R(e)``) and the
+  reductions from FS-MRT and from the release/deadline model;
+* :mod:`repro.mrt.lp_relaxation` — LP (19)–(21);
+* :mod:`repro.mrt.rounding` — iterative-relaxation rounding realizing the
+  Karp et al. bound of Lemma 4.3 (additive violation ``<= 2 d_max - 1``);
+* :mod:`repro.mrt.algorithm` — the binary-search FS-MRT solver
+  (Theorem 3);
+* :mod:`repro.mrt.hardness` — the Restricted Timetable reduction of
+  Theorem 2 (4/3-inapproximability).
+"""
+
+from repro.mrt.time_constrained import (
+    TimeConstrainedInstance,
+    from_deadlines,
+    from_response_bound,
+)
+from repro.mrt.lp_relaxation import build_time_constrained_lp, solve_fractional
+from repro.mrt.rounding import RoundingResult, round_time_constrained
+from repro.mrt.algorithm import MRTResult, schedule_time_constrained, solve_mrt
+from repro.mrt.hardness import RTTInstance, reduce_rtt_to_fsmrt, solve_rtt_bruteforce
+
+__all__ = [
+    "TimeConstrainedInstance",
+    "from_response_bound",
+    "from_deadlines",
+    "build_time_constrained_lp",
+    "solve_fractional",
+    "round_time_constrained",
+    "RoundingResult",
+    "solve_mrt",
+    "schedule_time_constrained",
+    "MRTResult",
+    "RTTInstance",
+    "reduce_rtt_to_fsmrt",
+    "solve_rtt_bruteforce",
+]

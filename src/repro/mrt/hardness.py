@@ -1,0 +1,255 @@
+"""Theorem 2: NP-hardness of FS-MRT via Restricted Timetable.
+
+Implements the paper's reduction from the Restricted Timetable problem
+(RTT, Even–Itai–Shamir 1976) to the feasibility version of FS-MRT with
+response bound ρ = 3, which proves that no polynomial algorithm can
+approximate FS-MRT within a factor better than 4/3 unless P = NP.
+
+RTT (Definition 4.1): hours ``H = {1, 2, 3}``; teacher ``i ∈ [m]`` is
+available in hours ``T_i ⊆ H`` with ``|T_i| >= 2`` and must teach the
+class set ``g(i) ⊆ [m']`` with ``|g(i)| = |T_i|``, one class per hour,
+each class busy with at most one teacher per hour, and (the constraint
+the gadgets enforce) only during the teacher's available hours.
+
+The reduction (proof of Theorem 2, steps 1–5) creates:
+
+1. a "real" flow ``p_i → q_j`` for every ``j ∈ g(i)``;
+2. released at round ``min T_i``;
+3. per output ``q_j``: three blocker inputs whose flows (released round
+   4) saturate ``q_j`` in rounds 4–6, confining real flows to rounds 1–3;
+4. per teacher with ``T_i = {1, 3}``: a gadget output ``q*_i``, a dashed
+   flow ``p_i → q*_i`` released round 2, and three dotted blockers
+   released round 3 that force the dashed flow into round 2 — blocking
+   ``p_i`` exactly in round 2 (Figure 3);
+5. per teacher with ``T_i = {1, 2}``: the same gadget shifted one round,
+   blocking ``p_i`` in round 3.
+
+Rounds here are 0-indexed (paper round ``h`` ↔ library round ``h - 1``);
+response bound ρ = 3 means a flow released at round ``r`` must run in
+``{r, r+1, r+2}``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.flow import Flow
+from repro.core.instance import Instance
+from repro.core.switch import Switch
+
+HOURS: Tuple[int, ...] = (1, 2, 3)
+
+#: The response bound the reduction targets (paper: ρ = 3).
+REDUCTION_RHO = 3
+
+
+@dataclass(frozen=True)
+class RTTInstance:
+    """A Restricted Timetable instance.
+
+    Attributes
+    ----------
+    availability:
+        ``availability[i] = T_i`` — frozen set of hours (subset of
+        ``{1,2,3}``, size >= 2) in which teacher ``i`` is available.
+    classes:
+        ``classes[i] = g(i)`` — tuple of class indices taught by teacher
+        ``i``; must satisfy ``len(g(i)) == len(T_i)``.
+    num_classes:
+        ``m'`` — class indices run in ``[0, m')``.
+    """
+
+    availability: Tuple[FrozenSet[int], ...]
+    classes: Tuple[Tuple[int, ...], ...]
+    num_classes: int
+
+    def __post_init__(self) -> None:
+        if len(self.availability) != len(self.classes):
+            raise ValueError("availability and classes must align")
+        for i, (hours, cls) in enumerate(zip(self.availability, self.classes)):
+            if not hours <= set(HOURS):
+                raise ValueError(f"teacher {i}: hours {hours} not within {HOURS}")
+            if len(hours) < 2:
+                raise ValueError(f"teacher {i}: |T_i| must be >= 2")
+            if len(cls) != len(hours):
+                raise ValueError(
+                    f"teacher {i}: |g(i)|={len(cls)} != |T_i|={len(hours)}"
+                )
+            if len(set(cls)) != len(cls):
+                raise ValueError(f"teacher {i}: duplicate classes in g(i)")
+            if any(not 0 <= j < self.num_classes for j in cls):
+                raise ValueError(f"teacher {i}: class index out of range")
+
+    @property
+    def num_teachers(self) -> int:
+        """``m``."""
+        return len(self.availability)
+
+
+def solve_rtt_bruteforce(rtt: RTTInstance) -> Optional[Dict[Tuple[int, int], int]]:
+    """Exact RTT solver by backtracking (small instances only).
+
+    Returns ``{(teacher, class): hour}`` covering every required pair, or
+    ``None`` when the instance is infeasible.  A valid timetable assigns
+    each pair ``(i, j ∈ g(i))`` an hour ``h ∈ T_i`` such that teacher
+    hours are distinct and no class hosts two teachers in one hour.
+    """
+    pairs: List[Tuple[int, int]] = [
+        (i, j) for i in range(rtt.num_teachers) for j in rtt.classes[i]
+    ]
+    teacher_busy: Dict[Tuple[int, int], bool] = {}
+    class_busy: Dict[Tuple[int, int], bool] = {}
+    assignment: Dict[Tuple[int, int], int] = {}
+
+    def backtrack(idx: int) -> bool:
+        if idx == len(pairs):
+            return True
+        i, j = pairs[idx]
+        for h in sorted(rtt.availability[i]):
+            if teacher_busy.get((i, h)) or class_busy.get((j, h)):
+                continue
+            teacher_busy[(i, h)] = True
+            class_busy[(j, h)] = True
+            assignment[(i, j)] = h
+            if backtrack(idx + 1):
+                return True
+            del assignment[(i, j)]
+            teacher_busy[(i, h)] = False
+            class_busy[(j, h)] = False
+        return False
+
+    return dict(assignment) if backtrack(0) else None
+
+
+@dataclass(frozen=True)
+class ReductionArtifacts:
+    """Bookkeeping of :func:`reduce_rtt_to_fsmrt` for decoding/testing.
+
+    ``real_flow[(i, j)]`` is the fid of the step-1 flow for teacher ``i``
+    and class ``j``; ``rho`` is the feasibility threshold (always 3).
+    """
+
+    instance: Instance
+    rho: int
+    real_flow: Dict[Tuple[int, int], int]
+
+
+def reduce_rtt_to_fsmrt(rtt: RTTInstance) -> ReductionArtifacts:
+    """Build the FS-MRT instance of Theorem 2 from an RTT instance.
+
+    The returned instance admits a schedule with maximum response time
+    ≤ 3 **iff** the RTT instance is feasible.
+    """
+    m, mp = rtt.num_teachers, rtt.num_classes
+
+    # Port layout.  Inputs: p_0..p_{m-1}, then blocker inputs (3 per real
+    # output, 3 per gadget).  Outputs: q_0..q_{mp-1}, then gadget outputs.
+    input_ports: List[str] = [f"p{i}" for i in range(m)]
+    output_ports: List[str] = [f"q{j}" for j in range(mp)]
+
+    def new_input(tag: str) -> int:
+        input_ports.append(tag)
+        return len(input_ports) - 1
+
+    def new_output(tag: str) -> int:
+        output_ports.append(tag)
+        return len(output_ports) - 1
+
+    flows: List[Flow] = []
+    real_flow: Dict[Tuple[int, int], int] = {}
+
+    def add_flow(src: int, dst: int, release_paper_round: int) -> int:
+        flows.append(Flow(src, dst, demand=1, release=release_paper_round - 1))
+        return len(flows) - 1
+
+    # Steps 1-2: real flows, released at min T_i (paper rounds).
+    for i in range(m):
+        h_min = min(rtt.availability[i])
+        for j in rtt.classes[i]:
+            real_flow[(i, j)] = add_flow(i, j, h_min)
+
+    # Step 3: saturate every real output q_j in paper rounds 4-6.
+    for j in range(mp):
+        for tag in ("w", "y", "z"):
+            blocker = new_input(f"{tag}^out{j}")
+            add_flow(blocker, j, 4)
+
+    # Steps 4-5: per-teacher gadgets for T_i = {1,3} and T_i = {1,2}.
+    for i in range(m):
+        hours = rtt.availability[i]
+        if hours == frozenset({1, 3}):
+            dash_release, dot_release = 2, 3
+        elif hours == frozenset({1, 2}):
+            dash_release, dot_release = 3, 4
+        else:
+            continue  # {2,3} and {1,2,3} need no gadget (see module doc)
+        q_star = new_output(f"q*{i}")
+        add_flow(i, q_star, dash_release)
+        for tag in ("w", "y", "z"):
+            blocker = new_input(f"{tag}^t{i}")
+            add_flow(blocker, q_star, dot_release)
+
+    switch = Switch.create(len(input_ports), len(output_ports), 1, 1)
+    instance = Instance.create(switch, flows)
+    return ReductionArtifacts(instance, REDUCTION_RHO, real_flow)
+
+
+def decode_schedule_to_timetable(
+    artifacts: ReductionArtifacts, assignment: Dict[int, int]
+) -> Dict[Tuple[int, int], int]:
+    """Extract the RTT timetable from an FS-MRT schedule.
+
+    ``assignment`` maps fid → round (0-indexed); real flows scheduled in
+    library round ``t`` teach in paper hour ``t + 1``.
+    """
+    return {
+        (i, j): assignment[fid] + 1
+        for (i, j), fid in artifacts.real_flow.items()
+    }
+
+
+def verify_timetable(
+    rtt: RTTInstance, timetable: Dict[Tuple[int, int], int]
+) -> bool:
+    """Check RTT conditions (iv)-(vii) for a candidate timetable."""
+    required = {(i, j) for i in range(rtt.num_teachers) for j in rtt.classes[i]}
+    if set(timetable) != required:
+        return False
+    teacher_hours: Dict[Tuple[int, int], int] = {}
+    class_hours: Dict[Tuple[int, int], int] = {}
+    for (i, j), h in timetable.items():
+        if h not in rtt.availability[i]:
+            return False
+        if (i, h) in teacher_hours or (j, h) in class_hours:
+            return False
+        teacher_hours[(i, h)] = j
+        class_hours[(j, h)] = i
+    return True
+
+
+def enumerate_small_rtt_instances(
+    num_teachers: int, num_classes: int
+) -> List[RTTInstance]:
+    """Every RTT instance of the given size (testing helper; tiny sizes).
+
+    Enumerates all availability patterns and class assignments; intended
+    for exhaustive soundness/completeness checks of the reduction.
+    """
+    avail_options = [
+        frozenset(s)
+        for r in (2, 3)
+        for s in itertools.combinations(HOURS, r)
+    ]
+    instances: List[RTTInstance] = []
+    for avail in itertools.product(avail_options, repeat=num_teachers):
+        class_options_per_teacher = [
+            list(itertools.permutations(range(num_classes), len(a)))
+            for a in avail
+        ]
+        for classes in itertools.product(*class_options_per_teacher):
+            instances.append(
+                RTTInstance(tuple(avail), tuple(classes), num_classes)
+            )
+    return instances

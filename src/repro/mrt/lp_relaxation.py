@@ -1,0 +1,85 @@
+"""LP (19)–(21): the Time-Constrained Flow Scheduling relaxation.
+
+Variables ``x_{e,t}`` for ``t in R(e)``:
+
+* capacity (19):   ``sum_{e in F_p} d_e x_{e,t} <= c_p``  for all ports p,
+  rounds t;
+* assignment (20): ``sum_{t in R(e)} x_{e,t} = 1``        for all flows e;
+* nonnegativity (21).
+
+The LP is a feasibility system (no objective).  It is an exact relaxation
+test for the *fractional* problem: a schedule induces a 0/1 solution, so
+LP infeasibility certifies that no schedule exists (used as the lower
+bound for ρ in the binary search and as the Figure 7 baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.lp.model import LinearProgram, Sense
+from repro.lp.result import LPResult
+from repro.lp.solver import solve_lp
+from repro.mrt.time_constrained import TimeConstrainedInstance
+
+# Variable naming convention shared with the rounding module.
+VarName = Tuple[str, int, int]  # ("x", fid, t)
+
+
+def build_time_constrained_lp(tci: TimeConstrainedInstance) -> LinearProgram:
+    """Construct LP (19)–(21) for ``tci``.
+
+    Constraint names: ``("assign", fid)`` for (20) and
+    ``("cap", side, port, t)`` with ``side in {"in", "out"}`` for (19).
+    Capacity rows are only emitted for (port, round) pairs actually
+    touched by some variable — absent rows are vacuous.
+    """
+    inst = tci.instance
+    lp = LinearProgram()
+    # (21) x >= 0 is the default variable bound; no upper bound needed
+    # because (20) caps each variable at 1.
+    in_touch: Dict[Tuple[int, int], Dict[VarName, float]] = {}
+    out_touch: Dict[Tuple[int, int], Dict[VarName, float]] = {}
+    for fid, rounds in enumerate(tci.active_rounds):
+        flow = inst.flows[fid]
+        assign_coeffs: Dict[VarName, float] = {}
+        for t in rounds:
+            name: VarName = ("x", fid, t)
+            lp.add_variable(name)
+            assign_coeffs[name] = 1.0
+            in_touch.setdefault((flow.src, t), {})[name] = float(flow.demand)
+            out_touch.setdefault((flow.dst, t), {})[name] = float(flow.demand)
+        lp.add_constraint(("assign", fid), assign_coeffs, Sense.EQ, 1.0)
+
+    for (p, t), coeffs in sorted(in_touch.items()):
+        lp.add_constraint(
+            ("cap", "in", p, t),
+            coeffs,
+            Sense.LE,
+            float(inst.switch.input_capacity(p)),
+        )
+    for (q, t), coeffs in sorted(out_touch.items()):
+        lp.add_constraint(
+            ("cap", "out", q, t),
+            coeffs,
+            Sense.LE,
+            float(inst.switch.output_capacity(q)),
+        )
+    return lp
+
+
+def solve_fractional(
+    tci: TimeConstrainedInstance,
+    backend: str = "auto",
+    need_vertex: bool = True,
+) -> LPResult:
+    """Solve LP (19)–(21); OPTIMAL means fractionally schedulable."""
+    lp = build_time_constrained_lp(tci)
+    return solve_lp(lp, backend=backend, need_vertex=need_vertex)
+
+
+def is_fractionally_feasible(
+    tci: TimeConstrainedInstance, backend: str = "auto"
+) -> bool:
+    """Feasibility predicate used by the ρ binary search."""
+    return solve_fractional(tci, backend=backend, need_vertex=False).is_optimal

@@ -1,0 +1,224 @@
+"""Online scheduling policies (paper §5.2.1).
+
+The three heuristics the paper evaluates, plus a FIFO baseline:
+
+* **MaxCard** — extract a maximum-cardinality matching from ``G_t``:
+  "guaranteed to keep the largest number of ports busy during each step";
+* **MinRTime** — maximum-weight matching with edge weight ``t - r_e``
+  (the flow's waiting time), prioritizing long-waiting flows;
+* **MaxWeight** — maximum-weight matching with edge weight equal to the
+  sum of queue sizes at the flow's two endpoints;
+* **FIFO** — greedily pack flows in release order (baseline; FIFO is the
+  classical (3 - 2/m)-competitive rule for max response on machines).
+
+For unit capacities and unit demands the policies use the exact matching
+algorithms from :mod:`repro.matching`.  For general capacities/demands
+each policy falls back to a greedy weight-ordered packing of the same
+edge weights (documented extension — the paper's experiments are all
+unit-capacity).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.flow import Flow
+from repro.core.instance import Instance
+from repro.matching.bipartite import BipartiteMultigraph
+from repro.matching.hopcroft_karp import max_cardinality_matching
+from repro.matching.weight_matching import max_weight_matching
+
+
+class OnlinePolicy:
+    """Interface: per-round selection of waiting flows to schedule."""
+
+    #: Display name used in experiment tables (overridden per subclass).
+    name = "abstract"
+
+    def reset(self, instance: Instance) -> None:
+        """Called once before a simulation starts."""
+
+    def select(
+        self, t: int, waiting: Dict[int, Flow], instance: Instance
+    ) -> List[int]:
+        """Return the fids to schedule in round ``t`` (must be feasible)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared machinery
+    # ------------------------------------------------------------------
+
+    def _weights(
+        self, t: int, flows: Sequence[Flow], waiting: Dict[int, Flow]
+    ) -> np.ndarray:
+        """Edge weights for the current round (policy-specific)."""
+        raise NotImplementedError
+
+    def _select_matching(
+        self, t: int, waiting: Dict[int, Flow], instance: Instance
+    ) -> List[int]:
+        """Weight-matching selection for the unit-capacity fast path."""
+        flows = list(waiting.values())
+        weights = self._weights(t, flows, waiting)
+        edges = [(f.src, f.dst) for f in flows]
+        matching = max_weight_matching(
+            instance.switch.num_inputs,
+            instance.switch.num_outputs,
+            edges,
+            weights,
+        )
+        return [flows[eid].fid for eid in matching.values()]
+
+    def _select_packing(
+        self, t: int, waiting: Dict[int, Flow], instance: Instance
+    ) -> List[int]:
+        """Greedy weight-ordered packing for general capacities."""
+        flows = list(waiting.values())
+        weights = self._weights(t, flows, waiting)
+        order = np.argsort(-np.asarray(weights), kind="stable")
+        in_res = instance.switch.input_capacities.copy()
+        out_res = instance.switch.output_capacities.copy()
+        chosen: List[int] = []
+        for idx in order:
+            flow = flows[int(idx)]
+            if weights[int(idx)] <= 0:
+                continue
+            if in_res[flow.src] >= flow.demand and out_res[flow.dst] >= flow.demand:
+                in_res[flow.src] -= flow.demand
+                out_res[flow.dst] -= flow.demand
+                chosen.append(flow.fid)
+        return chosen
+
+    def _unit_case(self, waiting: Dict[int, Flow], instance: Instance) -> bool:
+        return instance.switch.is_unit_capacity
+
+    def select_by_weight(
+        self, t: int, waiting: Dict[int, Flow], instance: Instance
+    ) -> List[int]:
+        """Dispatch between matching (unit) and packing (general)."""
+        if self._unit_case(waiting, instance):
+            return self._select_matching(t, waiting, instance)
+        return self._select_packing(t, waiting, instance)
+
+
+class MaxCardPolicy(OnlinePolicy):
+    """Maximum-cardinality matching each round (paper's MaxCard)."""
+
+    name = "MaxCard"
+
+    def select(
+        self, t: int, waiting: Dict[int, Flow], instance: Instance
+    ) -> List[int]:
+        if not instance.switch.is_unit_capacity:
+            # Packing with unit weights greedily keeps ports busy.
+            return self._select_packing(t, waiting, instance)
+        flows = list(waiting.values())
+        graph = BipartiteMultigraph(
+            instance.switch.num_inputs, instance.switch.num_outputs
+        )
+        for f in flows:
+            graph.add_edge(f.src, f.dst, payload=f.fid)
+        matching = max_cardinality_matching(graph)
+        return [graph.payloads[eid] for eid in matching.values()]
+
+    def _weights(self, t, flows, waiting):
+        return np.ones(len(flows))
+
+
+class MinRTimePolicy(OnlinePolicy):
+    """Max-weight matching by waiting time (paper's MinRTime).
+
+    The paper assigns weight ``t - r_e``; we use ``t - r_e + 1`` so that
+    freshly released flows (weight 0 otherwise) remain matchable —
+    with the paper's literal weights a round-1 arrival could never be
+    scheduled in its arrival round, inflating response times by 1
+    across the board.
+    """
+
+    name = "MinRTime"
+
+    def select(self, t, waiting, instance):
+        return self.select_by_weight(t, waiting, instance)
+
+    def _weights(self, t, flows, waiting):
+        return np.asarray([t - f.release + 1 for f in flows], dtype=np.float64)
+
+
+class MaxWeightPolicy(OnlinePolicy):
+    """Max-weight matching by endpoint queue lengths (paper's MaxWeight)."""
+
+    name = "MaxWeight"
+
+    def select(self, t, waiting, instance):
+        return self.select_by_weight(t, waiting, instance)
+
+    def _weights(self, t, flows, waiting):
+        in_queue = np.zeros(max(f.src for f in flows) + 1, dtype=np.int64)
+        out_queue = np.zeros(max(f.dst for f in flows) + 1, dtype=np.int64)
+        for f in flows:
+            in_queue[f.src] += 1
+            out_queue[f.dst] += 1
+        return np.asarray(
+            [in_queue[f.src] + out_queue[f.dst] for f in flows],
+            dtype=np.float64,
+        )
+
+
+class RandomPolicy(OnlinePolicy):
+    """Random maximal matching/packing (scientific control baseline).
+
+    Not in the paper; included as the null hypothesis for the heuristic
+    comparisons — any policy worth its table row should beat it.
+    Deterministic per (seed, round) so simulations stay reproducible.
+    """
+
+    name = "Random"
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self, instance: Instance) -> None:
+        self._rng = np.random.default_rng(self._seed)
+
+    def select(self, t, waiting, instance):
+        return self._select_packing(t, waiting, instance)
+
+    def _weights(self, t, flows, waiting):
+        # Random priorities in (0, 1]; packing keeps the result maximal.
+        return self._rng.random(len(flows)) + 1e-9
+
+
+class FifoPolicy(OnlinePolicy):
+    """Greedy earliest-release packing (baseline, not in the paper's trio)."""
+
+    name = "FIFO"
+
+    def select(self, t, waiting, instance):
+        return self._select_packing(t, waiting, instance)
+
+    def _weights(self, t, flows, waiting):
+        # Older flows get strictly larger weight; +1 keeps weights positive.
+        return np.asarray([t - f.release + 1 for f in flows], dtype=np.float64)
+
+
+#: Name → constructor registry used by the experiment harness and CLI.
+POLICY_REGISTRY = {
+    "MaxCard": MaxCardPolicy,
+    "MinRTime": MinRTimePolicy,
+    "MaxWeight": MaxWeightPolicy,
+    "FIFO": FifoPolicy,
+    "Random": RandomPolicy,
+}
+
+
+def make_policy(name: str) -> OnlinePolicy:
+    """Instantiate a policy by registry name."""
+    try:
+        return POLICY_REGISTRY[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; available: {sorted(POLICY_REGISTRY)}"
+        ) from None

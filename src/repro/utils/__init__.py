@@ -1,0 +1,18 @@
+"""Small shared utilities: seeded RNG helpers, validation, timing."""
+
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_nonnegative_int,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "Timer",
+    "check_nonnegative_int",
+    "check_positive_int",
+    "check_probability",
+]

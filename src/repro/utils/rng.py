@@ -1,0 +1,54 @@
+"""Seeded random-number-generator helpers.
+
+All stochastic components of the library accept either an integer seed or a
+:class:`numpy.random.Generator`.  Centralizing the coercion here keeps every
+experiment reproducible: the experiment harness records the seed it used, and
+re-running with the same seed regenerates identical workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh OS entropy), an integer seed, or an existing
+        generator (returned unchanged so callers can share a stream).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``seed``.
+
+    Used by the experiment harness to give every trial of a sweep its own
+    stream, so that adding/removing trials does not perturb the others.
+    """
+    if n < 0:
+        raise ValueError(f"n must be nonnegative, got {n}")
+    root = np.random.SeedSequence(seed if isinstance(seed, int) else None)
+    return [np.random.default_rng(s) for s in root.spawn(n)]
+
+
+def derive_seed(seed: Optional[int], *salt: int) -> Optional[int]:
+    """Deterministically combine ``seed`` with integer ``salt`` values.
+
+    Returns ``None`` when ``seed`` is ``None`` (keep full randomness), else a
+    stable 63-bit integer.  Used to give each (trial, parameter) cell of a
+    sweep a distinct but reproducible seed.
+    """
+    if seed is None:
+        return None
+    mixed = np.random.SeedSequence([seed, *salt]).generate_state(1)[0]
+    return int(mixed) & 0x7FFFFFFFFFFFFFFF

@@ -1,0 +1,70 @@
+"""Lightweight wall-clock timing for the experiment harness.
+
+The paper reports LP solve times (">3 hours" for the largest setting); the
+harness records per-phase runtimes with this helper so EXPERIMENTS.md can
+report paper-vs-measured runtime shape as well as objective values.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class Timer:
+    """Accumulating named stopwatch.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer.measure("lp"):
+    ...     pass
+    >>> "lp" in timer.totals
+    True
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def measure(self, name: str) -> "_TimerContext":
+        """Return a context manager that adds its elapsed time to ``name``."""
+        return _TimerContext(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record ``seconds`` against ``name`` directly."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def mean(self, name: str) -> float:
+        """Mean elapsed seconds per measurement of ``name``."""
+        if self.counts.get(name, 0) == 0:
+            return 0.0
+        return self.totals[name] / self.counts[name]
+
+    def report(self) -> str:
+        """Human-readable multi-line summary, sorted by total time."""
+        lines = []
+        for name in sorted(self.totals, key=self.totals.get, reverse=True):
+            lines.append(
+                f"{name:<30s} total={self.totals[name]:9.3f}s "
+                f"n={self.counts[name]:<6d} mean={self.mean(name):9.4f}s"
+            )
+        return "\n".join(lines)
+
+
+class _TimerContext:
+    """Context manager produced by :meth:`Timer.measure`."""
+
+    def __init__(self, timer: Timer, name: str):
+        self._timer = timer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._timer.add(self._name, time.perf_counter() - self._start)

@@ -1,0 +1,48 @@
+"""Argument-validation helpers shared across the library.
+
+These raise ``ValueError``/``TypeError`` with uniform, descriptive messages
+so that misuse of the public API fails fast with a clear diagnosis rather
+than deep inside an algorithm.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Any
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer ``>= 1`` and return it as int."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def check_nonnegative_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer ``>= 0`` and return it as int."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Validate that ``value`` is a real number in ``[0, 1]``."""
+    if not isinstance(value, numbers.Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_in(value: Any, options: tuple, name: str) -> Any:
+    """Validate that ``value`` is one of ``options``."""
+    if value not in options:
+        raise ValueError(f"{name} must be one of {options}, got {value!r}")
+    return value

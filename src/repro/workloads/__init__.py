@@ -1,0 +1,26 @@
+"""Workload generation (paper §5.2.1) and trace record/replay.
+
+The paper's experiments draw, for each round ``t = 0..T-1``, a
+Poisson(``M``)-distributed number of unit flows with uniformly random
+input/output ports on a 150×150 unit-capacity switch.  Besides that
+generator, this package provides skewed (Zipf hotspot), permutation, and
+incast traffic shapes for the extended experiments, and JSON traces for
+reproducible replay.
+"""
+
+from repro.workloads.synthetic import (
+    hotspot_workload,
+    incast_workload,
+    permutation_workload,
+    poisson_uniform_workload,
+)
+from repro.workloads.trace import load_trace, save_trace
+
+__all__ = [
+    "poisson_uniform_workload",
+    "hotspot_workload",
+    "permutation_workload",
+    "incast_workload",
+    "save_trace",
+    "load_trace",
+]

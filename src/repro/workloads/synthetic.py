@@ -1,0 +1,148 @@
+"""Synthetic workload generators.
+
+:func:`poisson_uniform_workload` is the paper's generator (§5.2.1):
+"for each time unit t = 0, .., T − 1, a Poisson distribution of mean M is
+used to generate flows released at time t.  For each such flow, an input
+port and an output port is selected uniformly at random."
+
+The other generators provide traffic shapes common in the datacenter
+literature the paper cites (pFabric, VL2): skewed hotspots, permutation
+traffic, and incast.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.flow import Flow
+from repro.core.instance import Instance
+from repro.core.switch import Switch
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import check_positive_int
+
+
+def poisson_uniform_workload(
+    num_ports: int,
+    mean_arrivals: float,
+    num_rounds: int,
+    seed: SeedLike = None,
+    capacity: int = 1,
+    demand: int = 1,
+) -> Instance:
+    """The paper's workload: Poisson(``M``) arrivals, uniform port pairs.
+
+    Parameters
+    ----------
+    num_ports:
+        ``m`` (square switch; the paper uses 150).
+    mean_arrivals:
+        ``M`` — mean flows released per round (paper: 50..600).
+    num_rounds:
+        ``T`` — rounds during which flows are generated (paper: 10..100).
+    seed:
+        RNG seed/generator.
+    capacity / demand:
+        Port capacity and per-flow demand (paper: both 1); ``demand``
+        must not exceed ``capacity``.
+    """
+    m = check_positive_int(num_ports, "num_ports")
+    check_positive_int(num_rounds, "num_rounds")
+    if mean_arrivals <= 0:
+        raise ValueError(f"mean_arrivals must be > 0, got {mean_arrivals}")
+    rng = make_rng(seed)
+    switch = Switch.create(m, m, capacity)
+    flows = []
+    counts = rng.poisson(mean_arrivals, size=num_rounds)
+    for t in range(num_rounds):
+        k = int(counts[t])
+        srcs = rng.integers(0, m, size=k)
+        dsts = rng.integers(0, m, size=k)
+        for i in range(k):
+            flows.append(Flow(int(srcs[i]), int(dsts[i]), demand, t))
+    return Instance.create(switch, flows)
+
+
+def hotspot_workload(
+    num_ports: int,
+    mean_arrivals: float,
+    num_rounds: int,
+    zipf_exponent: float = 1.2,
+    seed: SeedLike = None,
+    capacity: int = 1,
+) -> Instance:
+    """Skewed traffic: output ports drawn from a Zipf-like distribution.
+
+    Models the heavy-tailed destination popularity of storage/analytics
+    clusters; a few "hot" output ports receive most flows, stressing the
+    max-response objective.
+    """
+    m = check_positive_int(num_ports, "num_ports")
+    if zipf_exponent <= 0:
+        raise ValueError("zipf_exponent must be > 0")
+    rng = make_rng(seed)
+    ranks = np.arange(1, m + 1, dtype=np.float64)
+    probs = ranks ** (-zipf_exponent)
+    probs /= probs.sum()
+    switch = Switch.create(m, m, capacity)
+    flows = []
+    counts = rng.poisson(mean_arrivals, size=num_rounds)
+    for t in range(num_rounds):
+        k = int(counts[t])
+        srcs = rng.integers(0, m, size=k)
+        dsts = rng.choice(m, size=k, p=probs)
+        for i in range(k):
+            flows.append(Flow(int(srcs[i]), int(dsts[i]), 1, t))
+    return Instance.create(switch, flows)
+
+
+def permutation_workload(
+    num_ports: int,
+    num_rounds: int,
+    seed: SeedLike = None,
+    capacity: int = 1,
+) -> Instance:
+    """Permutation traffic: each round releases one flow per input port
+    along a fresh random permutation (a full-rate, perfectly balanced
+    load — the classical crossbar stress test)."""
+    m = check_positive_int(num_ports, "num_ports")
+    check_positive_int(num_rounds, "num_rounds")
+    rng = make_rng(seed)
+    switch = Switch.create(m, m, capacity)
+    flows = []
+    for t in range(num_rounds):
+        perm = rng.permutation(m)
+        for src in range(m):
+            flows.append(Flow(src, int(perm[src]), 1, t))
+    return Instance.create(switch, flows)
+
+
+def incast_workload(
+    num_ports: int,
+    fan_in: int,
+    num_bursts: int,
+    gap: int = 1,
+    seed: SeedLike = None,
+    capacity: int = 1,
+    target: Optional[int] = None,
+) -> Instance:
+    """Incast: bursts of ``fan_in`` flows from distinct inputs converge on
+    a single output port (the partition/aggregate pattern of web search
+    and MapReduce shuffles).  Bursts are released every ``gap`` rounds.
+    """
+    m = check_positive_int(num_ports, "num_ports")
+    check_positive_int(num_bursts, "num_bursts")
+    check_positive_int(gap, "gap")
+    if not 1 <= fan_in <= m:
+        raise ValueError(f"fan_in must be in [1, {m}], got {fan_in}")
+    rng = make_rng(seed)
+    switch = Switch.create(m, m, capacity)
+    flows = []
+    for burst in range(num_bursts):
+        t = burst * gap
+        dst = int(rng.integers(0, m)) if target is None else target
+        srcs = rng.choice(m, size=fan_in, replace=False)
+        for src in srcs:
+            flows.append(Flow(int(src), dst, 1, t))
+    return Instance.create(switch, flows)

@@ -1,0 +1,25 @@
+"""Flow-trace record and replay.
+
+The paper's evaluation is fully synthetic; real datacenter traces are
+proprietary (the usual substitutes in the literature are the Facebook
+Hadoop traces used by the coflow papers).  To keep experiments
+reproducible and to let downstream users plug in their own traces, any
+:class:`~repro.core.instance.Instance` can be serialized to a JSON trace
+and replayed bit-identically.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.instance import Instance
+
+
+def save_trace(instance: Instance, path: str | Path) -> None:
+    """Record ``instance`` (switch + flows) to a JSON trace file."""
+    instance.save_json(path)
+
+
+def load_trace(path: str | Path) -> Instance:
+    """Replay a trace previously written by :func:`save_trace`."""
+    return Instance.load_json(path)

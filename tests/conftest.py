@@ -1,0 +1,120 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.flow import Flow
+from repro.core.instance import Instance
+from repro.core.switch import Switch
+
+
+# ---------------------------------------------------------------------------
+# Plain fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def unit_switch_4() -> Switch:
+    """A 4x4 unit-capacity switch."""
+    return Switch.create(4)
+
+
+@pytest.fixture
+def small_instance(unit_switch_4: Switch) -> Instance:
+    """Six unit flows with a collision on output 0 and staggered releases."""
+    flows = [
+        Flow(0, 0, 1, 0),
+        Flow(1, 0, 1, 0),
+        Flow(2, 0, 1, 0),
+        Flow(0, 1, 1, 1),
+        Flow(3, 2, 1, 1),
+        Flow(2, 3, 1, 2),
+    ]
+    return Instance.create(unit_switch_4, flows)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for non-hypothesis randomized tests."""
+    return np.random.default_rng(12345)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def unit_instances(
+    draw,
+    max_ports: int = 4,
+    max_flows: int = 8,
+    max_release: int = 3,
+) -> Instance:
+    """Random unit-demand, unit-capacity instances (small)."""
+    m = draw(st.integers(1, max_ports))
+    n = draw(st.integers(0, max_flows))
+    flows = [
+        Flow(
+            draw(st.integers(0, m - 1)),
+            draw(st.integers(0, m - 1)),
+            1,
+            draw(st.integers(0, max_release)),
+        )
+        for _ in range(n)
+    ]
+    return Instance.create(Switch.create(m), flows)
+
+
+@st.composite
+def capacitated_instances(
+    draw,
+    max_ports: int = 3,
+    max_flows: int = 6,
+    max_capacity: int = 3,
+    max_release: int = 3,
+) -> Instance:
+    """Random instances with general capacities and demands."""
+    m = draw(st.integers(1, max_ports))
+    mp = draw(st.integers(1, max_ports))
+    in_caps = [draw(st.integers(1, max_capacity)) for _ in range(m)]
+    out_caps = [draw(st.integers(1, max_capacity)) for _ in range(mp)]
+    switch = Switch.create(m, mp, in_caps, out_caps)
+    n = draw(st.integers(0, max_flows))
+    flows = []
+    for _ in range(n):
+        src = draw(st.integers(0, m - 1))
+        dst = draw(st.integers(0, mp - 1))
+        kappa = min(in_caps[src], out_caps[dst])
+        flows.append(
+            Flow(
+                src,
+                dst,
+                draw(st.integers(1, kappa)),
+                draw(st.integers(0, max_release)),
+            )
+        )
+    return Instance.create(switch, flows)
+
+
+@st.composite
+def bipartite_edge_lists(
+    draw,
+    max_side: int = 5,
+    max_edges: int = 12,
+):
+    """Random bipartite multigraph data: (n_left, n_right, edges)."""
+    n_left = draw(st.integers(1, max_side))
+    n_right = draw(st.integers(1, max_side))
+    n_edges = draw(st.integers(0, max_edges))
+    edges = [
+        (
+            draw(st.integers(0, n_left - 1)),
+            draw(st.integers(0, n_right - 1)),
+        )
+        for _ in range(n_edges)
+    ]
+    return n_left, n_right, edges

@@ -1,0 +1,94 @@
+"""Tests for the Theorem 1 pseudo-schedule -> schedule conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.art.conversion import default_window, pseudo_to_schedule
+from repro.art.iterative_rounding import iterative_rounding
+from repro.art.pseudo_schedule import PseudoSchedule
+from repro.core.flow import Flow
+from repro.core.instance import Instance
+from repro.core.schedule import validate_schedule
+from repro.core.switch import Switch
+from tests.conftest import unit_instances
+
+
+class TestDefaultWindow:
+    def test_grows_with_n(self):
+        assert default_window(2, 1) == 1
+        assert default_window(1024, 1) == 10
+        assert default_window(1024, 5) == 2
+
+    def test_rejects_bad_c(self):
+        with pytest.raises(ValueError):
+            default_window(10, 0)
+
+
+class TestConversion:
+    def test_empty(self):
+        inst = Instance.create(Switch.create(1), [])
+        ps = PseudoSchedule(inst, np.zeros(0, dtype=np.int64))
+        res = pseudo_to_schedule(ps)
+        assert res.schedule.instance.num_flows == 0
+
+    def test_schedules_strictly_after_pseudo_round(self):
+        inst = Instance.create(
+            Switch.create(2), [Flow(0, 0), Flow(1, 1), Flow(0, 1, 1, 1)]
+        )
+        ps = iterative_rounding(inst)
+        res = pseudo_to_schedule(ps, c=1, window=2)
+        assert (res.schedule.assignment > ps.assignment).all()
+
+    def test_overloaded_pseudo_schedule_repaired(self):
+        # Pseudo-schedule with 3 flows on one port in one round.
+        inst = Instance.create(
+            Switch.create(3), [Flow(0, 0), Flow(1, 0), Flow(2, 0)]
+        )
+        ps = PseudoSchedule(inst, np.array([0, 0, 0]))
+        res = pseudo_to_schedule(ps, c=1, window=2)
+        # Emitted over window 1 (rounds 2..3), ceil(3/2)=2 per round.
+        validate_schedule(
+            res.schedule,
+            inst.switch.augmented(factor=res.capacity_factor),
+        )
+        assert res.max_delta == 3
+        assert res.capacity_factor == 2
+
+    def test_capacity_factor_bound(self):
+        """Per construction, per-round load <= ceil(delta/h) * c_p."""
+        inst = Instance.create(
+            Switch.create(2), [Flow(0, 0) for _ in range(4)]
+        )
+        ps = PseudoSchedule(inst, np.array([0, 0, 1, 1]))
+        res = pseudo_to_schedule(ps, window=2)
+        assert res.capacity_factor <= -(-res.max_delta // res.window)
+
+    def test_general_capacities_b_matching_path(self):
+        sw = Switch.create(2, 2, 2)
+        flows = [Flow(0, 0), Flow(0, 0), Flow(0, 1), Flow(1, 0)]
+        inst = Instance.create(sw, flows)
+        ps = PseudoSchedule(inst, np.array([0, 0, 0, 0]))
+        res = pseudo_to_schedule(ps, window=1)
+        validate_schedule(
+            res.schedule, sw.augmented(factor=res.capacity_factor)
+        )
+
+    def test_invalid_window_rejected(self):
+        inst = Instance.create(Switch.create(2), [Flow(0, 0)])
+        ps = PseudoSchedule(inst, np.array([0]))
+        with pytest.raises(ValueError):
+            pseudo_to_schedule(ps, window=0)
+
+    @given(unit_instances(max_ports=3, max_flows=6), st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_end_to_end_validity_property(self, inst, c):
+        """Theorem 1 pipeline: always yields a valid schedule under the
+        achieved capacity factor, respecting all releases."""
+        ps = iterative_rounding(inst)
+        res = pseudo_to_schedule(ps, c=c)
+        validate_schedule(
+            res.schedule, inst.switch.augmented(factor=res.capacity_factor)
+        )
+        assert res.extra_delay <= 2 * res.window + res.max_delta

@@ -1,0 +1,103 @@
+"""Tests for the FS-ART linear programs (LP (1)-(4) and LP (5)-(8))."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.art.lp_relaxation import (
+    BLOCK,
+    art_lp_lower_bound,
+    build_fractional_art_lp,
+    build_interval_lp0,
+)
+from repro.core.flow import Flow
+from repro.core.greedy import greedy_earliest_fit
+from repro.core.instance import Instance
+from repro.core.metrics import total_response_time
+from repro.core.switch import Switch
+from repro.lp.solver import solve_lp
+from repro.mrt.exact import exact_min_total_response
+from tests.conftest import unit_instances
+
+
+class TestLPConstruction:
+    def test_variables_start_at_release(self):
+        inst = Instance.create(Switch.create(2), [Flow(0, 0, 1, 3)])
+        lp = build_fractional_art_lp(inst, horizon=6)
+        assert lp.has_var(("b", 0, 3))
+        assert not lp.has_var(("b", 0, 2))
+        assert lp.num_vars == 3
+
+    def test_objective_coefficient_formula(self):
+        # (t - r)/d + 1/(2 kappa) with kappa = 2.
+        sw = Switch.create(1, 1, 2)
+        inst = Instance.create(sw, [Flow(0, 0, demand=2, release=1)])
+        lp = build_fractional_art_lp(inst, horizon=3)
+        c = lp.objective_vector()
+        assert c[lp.var(("b", 0, 1))] == pytest.approx(0.0 / 2 + 0.25)
+        assert c[lp.var(("b", 0, 2))] == pytest.approx(1.0 / 2 + 0.25)
+
+    def test_horizon_must_cover_releases(self):
+        inst = Instance.create(Switch.create(2), [Flow(0, 0, 1, 5)])
+        with pytest.raises(ValueError, match="horizon"):
+            build_fractional_art_lp(inst, horizon=4)
+
+    def test_interval_lp0_blocks(self):
+        inst = Instance.create(Switch.create(1, 1), [Flow(0, 0)])
+        lp = build_interval_lp0(inst, horizon=2 * BLOCK)
+        blk_rows = [c for c in lp.constraints if c.name[0] == "blk"]
+        # Rounds 0..7 -> blocks 0 and 1 for each side.
+        assert len(blk_rows) == 4
+        assert all(c.rhs == float(BLOCK) for c in blk_rows)
+
+    def test_interval_lp0_is_relaxation_of_fractional(self):
+        """LP(0)'s optimum never exceeds the per-round LP's (unit case)."""
+        inst = Instance.create(
+            Switch.create(2), [Flow(0, 0), Flow(0, 1), Flow(1, 0)]
+        )
+        tight = solve_lp(build_fractional_art_lp(inst))
+        loose = solve_lp(build_interval_lp0(inst))
+        assert loose.objective <= tight.objective + 1e-9
+
+
+class TestLowerBound:
+    def test_empty_instance(self):
+        assert art_lp_lower_bound(Instance.create(Switch.create(1), [])) == 0.0
+
+    def test_parallel_flows_bound_is_n(self):
+        # n conflict-free unit flows: every response is exactly 1 and the
+        # LP's Delta_e = 1/2 each... bound must be <= n and > 0.
+        inst = Instance.create(
+            Switch.create(3), [Flow(0, 0), Flow(1, 1), Flow(2, 2)]
+        )
+        lb = art_lp_lower_bound(inst)
+        assert 0 < lb <= 3
+
+    @given(unit_instances(max_ports=3, max_flows=5))
+    @settings(max_examples=25, deadline=None)
+    def test_lower_bounds_exact_optimum(self, inst):
+        """Lemma 3.1: the LP value lower-bounds any schedule's total
+        response, in particular the optimum."""
+        if inst.num_flows == 0:
+            return
+        lb = art_lp_lower_bound(inst)
+        opt = exact_min_total_response(inst)
+        assert lb <= opt + 1e-6
+
+    @given(unit_instances(max_ports=4, max_flows=6))
+    @settings(max_examples=25, deadline=None)
+    def test_lower_bounds_greedy(self, inst):
+        if inst.num_flows == 0:
+            return
+        lb = art_lp_lower_bound(inst)
+        assert lb <= total_response_time(greedy_earliest_fit(inst)) + 1e-6
+
+    @given(unit_instances(max_ports=3, max_flows=5))
+    @settings(max_examples=15, deadline=None)
+    def test_compact_horizon_preserves_bound(self, inst):
+        if inst.num_flows == 0:
+            return
+        full = art_lp_lower_bound(inst)
+        compact = art_lp_lower_bound(
+            inst, horizon=inst.compact_horizon_bound()
+        )
+        assert compact == pytest.approx(full, abs=1e-6)

@@ -1,0 +1,96 @@
+"""Tests for FS-ART iterative rounding (Lemma 3.3)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.art.iterative_rounding import iterative_rounding
+from repro.art.pseudo_schedule import PseudoSchedule, _max_subarray
+from repro.core.flow import Flow
+from repro.core.instance import Instance
+from repro.core.switch import Switch
+from repro.workloads.synthetic import poisson_uniform_workload
+from tests.conftest import unit_instances
+
+
+class TestPseudoScheduleType:
+    def _pseudo(self):
+        inst = Instance.create(
+            Switch.create(2), [Flow(0, 0, 1, 0), Flow(0, 1, 1, 0)]
+        )
+        return PseudoSchedule(inst, np.array([0, 1]))
+
+    def test_respects_releases(self):
+        assert self._pseudo().respects_releases()
+
+    def test_total_response(self):
+        assert self._pseudo().total_response() == 1 + 2
+
+    def test_shape_checked(self):
+        inst = Instance.create(Switch.create(2), [Flow(0, 0)])
+        with pytest.raises(ValueError):
+            PseudoSchedule(inst, np.array([0, 1]))
+
+    def test_port_loads(self):
+        loads = self._pseudo().port_loads()
+        assert loads[("in", 0)].tolist() == [1, 1]
+        assert loads[("out", 1)].tolist() == [0, 1]
+
+    def test_max_window_overload_overloaded(self):
+        inst = Instance.create(
+            Switch.create(2), [Flow(0, 0), Flow(0, 1), Flow(0, 0)]
+        )
+        ps = PseudoSchedule(inst, np.array([0, 0, 0]))  # 3 on input 0
+        assert ps.max_window_overload() == pytest.approx(3.0)
+
+    def test_max_subarray(self):
+        assert _max_subarray(np.array([-1.0, 2.0, 3.0, -5.0, 1.0])) == 5.0
+        assert _max_subarray(np.array([-2.0, -1.0])) == -1.0
+
+
+class TestIterativeRounding:
+    def test_rejects_non_unit_demands(self):
+        sw = Switch.create(1, 1, 2)
+        inst = Instance.create(sw, [Flow(0, 0, demand=2)])
+        with pytest.raises(ValueError, match="unit-demand"):
+            iterative_rounding(inst)
+
+    def test_empty_instance(self):
+        ps = iterative_rounding(Instance.create(Switch.create(1), []))
+        assert ps.assignment.size == 0
+
+    def test_single_flow_scheduled_at_release(self):
+        inst = Instance.create(Switch.create(2), [Flow(0, 1, 1, 2)])
+        ps = iterative_rounding(inst)
+        assert ps.assignment.tolist() == [2]
+
+    @given(unit_instances(max_ports=3, max_flows=6))
+    @settings(max_examples=20, deadline=None)
+    def test_lemma33_properties(self, inst):
+        """Property 1 (integral), releases respected, cost <= LP(0) opt
+        within tolerance, and no fallback fires on small instances."""
+        ps = iterative_rounding(inst)
+        if inst.num_flows == 0:
+            return
+        assert (ps.assignment >= 0).all()
+        assert ps.respects_releases()
+        assert ps.fallback_fixes == 0
+        # Property 2: rounded cost never exceeds the LP(0) optimum.
+        assert ps.lp_cost <= ps.lp0_optimum + 1e-6
+
+    def test_congested_instance_overload_logarithmic(self):
+        """Property 3 shape check: window overload stays O(log n) on a
+        congested random instance."""
+        inst = poisson_uniform_workload(6, 8, 6, seed=42)
+        ps = iterative_rounding(inst)
+        n = inst.num_flows
+        # Generous constant; the point is it is far below n / ports.
+        assert ps.max_window_overload() <= 10 * math.log2(n + 2) + 10
+        assert ps.iterations <= 2 * math.log2(n) + 21
+
+    def test_iterations_logarithmic(self):
+        inst = poisson_uniform_workload(5, 6, 5, seed=7)
+        ps = iterative_rounding(inst)
+        assert ps.iterations <= 2 * int(math.log2(inst.num_flows) + 1) + 20

@@ -1,0 +1,104 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+@pytest.fixture
+def trace(tmp_path):
+    path = tmp_path / "trace.json"
+    assert (
+        main(
+            [
+                "generate",
+                str(path),
+                "--ports",
+                "5",
+                "--mean",
+                "4",
+                "--rounds",
+                "3",
+                "--seed",
+                "7",
+            ]
+        )
+        == 0
+    )
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig_flags(self):
+        args = build_parser().parse_args(["fig6", "--quick", "--no-lp"])
+        assert args.quick and args.no_lp and not args.paper_scale
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_generate_writes_trace(self, trace):
+        data = json.loads(trace.read_text())
+        assert data["switch"]["num_inputs"] == 5
+        assert len(data["flows"]) > 0
+
+    def test_simulate(self, trace, capsys):
+        assert main(["simulate", str(trace), "--policy", "MaxCard"]) == 0
+        out = capsys.readouterr().out
+        assert "MaxCard" in out
+        assert "avg_rt" in out
+
+    def test_solve_mrt_with_output(self, trace, tmp_path, capsys):
+        out_path = tmp_path / "sched.json"
+        assert main(["solve-mrt", str(trace), "--out", str(out_path)]) == 0
+        assert "rho*" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert "assignment" in payload
+        assert payload["metrics"]["num_flows"] == len(payload["assignment"])
+
+    def test_solve_art(self, trace, capsys):
+        assert main(["solve-art", str(trace), "-c", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "capacity blowup" in out
+        assert "1+c = 3x" in out
+
+    def test_probe_open_problem(self, capsys):
+        assert (
+            main(
+                [
+                    "probe-open-problem",
+                    "--ports",
+                    "3",
+                    "--rounds",
+                    "4",
+                    "--trials",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert "worst observed constant" in capsys.readouterr().out
+
+    def test_fig6_quick_no_lp(self, capsys):
+        assert main(["fig6", "--quick", "--no-lp"]) == 0
+        assert "Figure 6 panel" in capsys.readouterr().out
+
+    def test_module_invocation(self, trace):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "simulate", str(trace)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0
+        assert "MaxWeight" in result.stdout

@@ -1,0 +1,137 @@
+"""Tests for the co-flow extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coflow.metrics import (
+    CoflowMetrics,
+    coflow_completion_times,
+    coflow_response_times,
+)
+from repro.coflow.model import Coflow, CoflowInstance, random_shuffle_coflows
+from repro.coflow.policies import make_coflow_policy
+from repro.coflow.simulator import simulate_coflows
+from repro.core.schedule import Schedule, validate_schedule
+from repro.core.switch import Switch
+from repro.online.policies import make_policy
+
+
+def _two_coflow_instance():
+    switch = Switch.create(3)
+    return CoflowInstance.create(
+        switch,
+        [
+            Coflow(((0, 0, 1), (1, 1, 1)), release=0),
+            Coflow(((0, 1, 1), (2, 2, 1)), release=1),
+        ],
+    )
+
+
+class TestModel:
+    def test_empty_coflow_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Coflow(())
+
+    def test_flattening_assigns_owners(self):
+        cf = _two_coflow_instance()
+        assert cf.instance.num_flows == 4
+        assert cf.coflow_of.tolist() == [0, 0, 1, 1]
+        assert cf.instance.flows[2].release == 1
+
+    def test_bottleneck(self):
+        switch = Switch.create(3)
+        c = Coflow(((0, 0, 1), (0, 1, 1), (1, 1, 1)))
+        # Input 0 carries 2 units; output 1 carries 2 units.
+        assert c.bottleneck(switch) == 2.0
+
+    def test_bottleneck_respects_capacity(self):
+        switch = Switch.create(3, 3, 2)
+        c = Coflow(((0, 0, 2), (0, 1, 2)))
+        assert c.bottleneck(switch) == 2.0  # 4 units / capacity 2
+
+    def test_total_demand(self):
+        assert Coflow(((0, 0, 2), (1, 1, 3))).total_demand == 5
+
+    def test_random_shuffle_generator(self):
+        cf = random_shuffle_coflows(8, 5, width_range=(2, 3), seed=0)
+        assert cf.num_coflows == 5
+        assert cf.releases().tolist() == [0, 2, 4, 6, 8]
+        for coflow in cf.coflows:
+            srcs = {m[0] for m in coflow.members}
+            dsts = {m[1] for m in coflow.members}
+            assert 2 <= len(srcs) <= 3
+            assert len(coflow.members) == len(srcs) * len(dsts)
+
+    def test_shuffle_generator_bounds_checked(self):
+        with pytest.raises(ValueError):
+            random_shuffle_coflows(4, 2, width_range=(3, 9))
+
+
+class TestMetrics:
+    def test_completion_is_last_member(self):
+        cf = _two_coflow_instance()
+        schedule = Schedule(cf.instance, np.array([0, 2, 1, 1]))
+        assert coflow_completion_times(cf, schedule).tolist() == [3, 2]
+        assert coflow_response_times(cf, schedule).tolist() == [3, 1]
+
+    def test_metrics_summary(self):
+        cf = _two_coflow_instance()
+        schedule = Schedule(cf.instance, np.array([0, 2, 1, 1]))
+        m = CoflowMetrics.of(cf, schedule)
+        assert m.num_coflows == 2
+        assert m.average_response == 2.0
+        assert m.max_response == 3
+
+    def test_empty(self):
+        switch = Switch.create(2)
+        cf = CoflowInstance.create(switch, [])
+        schedule = Schedule(cf.instance, np.zeros(0, dtype=np.int64))
+        assert CoflowMetrics.of(cf, schedule).num_coflows == 0
+
+
+class TestPolicies:
+    def test_unknown_policy(self):
+        cf = _two_coflow_instance()
+        with pytest.raises(ValueError, match="unknown coflow policy"):
+            make_coflow_policy("Varys", cf)
+
+    @pytest.mark.parametrize("name", ["SEBF", "CoflowFIFO"])
+    def test_schedules_valid(self, name):
+        cf = random_shuffle_coflows(6, 4, width_range=(2, 3), seed=1)
+        res = simulate_coflows(cf, make_coflow_policy(name, cf))
+        validate_schedule(res.schedule)
+
+    def test_oblivious_policy_compatible(self):
+        cf = random_shuffle_coflows(6, 4, width_range=(2, 3), seed=2)
+        res = simulate_coflows(cf, make_policy("MaxCard"))
+        validate_schedule(res.schedule)
+
+    def test_sebf_prioritizes_small_coflow(self):
+        # A 1-flow coflow and a 4-flow coflow share ports; SEBF should
+        # finish the small one first.
+        switch = Switch.create(2)
+        cf = CoflowInstance.create(
+            switch,
+            [
+                Coflow(((0, 0, 1), (0, 1, 1), (1, 0, 1), (1, 1, 1))),
+                Coflow(((0, 0, 1),)),
+            ],
+        )
+        res = simulate_coflows(cf, make_coflow_policy("SEBF", cf))
+        responses = coflow_response_times(cf, res.schedule)
+        assert responses[1] <= responses[0]
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_sebf_beats_oblivious_on_average_usually(self, seed):
+        """Shape check: across random shuffles, SEBF's average co-flow
+        response is never drastically worse than MaxCard's."""
+        cf = random_shuffle_coflows(8, 5, width_range=(2, 4), seed=seed)
+        sebf = simulate_coflows(cf, make_coflow_policy("SEBF", cf))
+        oblivious = simulate_coflows(cf, make_policy("MaxCard"))
+        assert (
+            sebf.coflow_metrics.average_response
+            <= oblivious.coflow_metrics.average_response * 1.5 + 2
+        )

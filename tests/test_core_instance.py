@@ -1,0 +1,103 @@
+"""Unit tests for repro.core.instance."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.core.flow import Flow
+from repro.core.instance import Instance
+from repro.core.switch import Switch
+from tests.conftest import capacitated_instances
+
+
+class TestInstanceCreate:
+    def test_fids_sequential(self, unit_switch_4):
+        inst = Instance.create(unit_switch_4, [Flow(0, 1), Flow(2, 3)])
+        assert [f.fid for f in inst.flows] == [0, 1]
+
+    def test_src_out_of_range_rejected(self, unit_switch_4):
+        with pytest.raises(ValueError, match="src port"):
+            Instance.create(unit_switch_4, [Flow(4, 0)])
+
+    def test_dst_out_of_range_rejected(self, unit_switch_4):
+        with pytest.raises(ValueError, match="dst port"):
+            Instance.create(unit_switch_4, [Flow(0, 4)])
+
+    def test_demand_exceeding_kappa_rejected(self):
+        sw = Switch.create(2, 2, [1, 3], [3, 3])
+        with pytest.raises(ValueError, match="kappa"):
+            Instance.create(sw, [Flow(0, 0, demand=2)])
+
+    def test_empty_instance(self, unit_switch_4):
+        inst = Instance.create(unit_switch_4, [])
+        assert inst.num_flows == 0
+        assert inst.max_demand == 0
+        assert inst.max_release == 0
+
+
+class TestInstanceViews:
+    def test_vector_views(self, small_instance):
+        assert small_instance.srcs().tolist() == [0, 1, 2, 0, 3, 2]
+        assert small_instance.dsts().tolist() == [0, 0, 0, 1, 2, 3]
+        assert small_instance.demands().tolist() == [1] * 6
+        assert small_instance.releases().tolist() == [0, 0, 0, 1, 1, 2]
+
+    def test_is_unit_demand(self, small_instance):
+        assert small_instance.is_unit_demand
+
+    def test_port_loads(self, small_instance):
+        in_load, out_load = small_instance.port_loads()
+        assert in_load.tolist() == [2, 1, 2, 1]
+        assert out_load.tolist() == [3, 1, 1, 1]
+
+    def test_flows_by_release(self, small_instance):
+        groups = small_instance.flows_by_release()
+        assert sorted(groups) == [0, 1, 2]
+        assert len(groups[0]) == 3
+
+    def test_horizon_bound_covers_all(self, small_instance):
+        assert small_instance.horizon_bound() == 2 + 6 + 1
+
+    def test_compact_horizon_le_horizon(self, small_instance):
+        assert (
+            small_instance.compact_horizon_bound()
+            <= small_instance.horizon_bound()
+        )
+
+    def test_restricted_to(self, small_instance):
+        sub = small_instance.restricted_to([2, 4])
+        assert sub.num_flows == 2
+        assert sub.flows[0].src == 2
+        assert sub.flows[1].dst == 2
+        assert [f.fid for f in sub.flows] == [0, 1]
+
+    def test_shifted(self, small_instance):
+        shifted = small_instance.shifted(5)
+        assert shifted.releases().tolist() == [5, 5, 5, 6, 6, 7]
+
+    def test_shifted_negative_rejected(self, small_instance):
+        with pytest.raises(ValueError):
+            small_instance.shifted(-1)
+
+
+class TestInstanceSerialization:
+    def test_round_trip_dict(self, small_instance):
+        again = Instance.from_dict(small_instance.to_dict())
+        assert again.num_flows == small_instance.num_flows
+        assert again.flows == small_instance.flows
+        assert (
+            again.switch.input_capacities
+            == small_instance.switch.input_capacities
+        ).all()
+
+    def test_round_trip_json_file(self, small_instance, tmp_path):
+        path = tmp_path / "trace.json"
+        small_instance.save_json(path)
+        again = Instance.load_json(path)
+        assert again.flows == small_instance.flows
+
+    @given(capacitated_instances())
+    def test_round_trip_property(self, inst):
+        again = Instance.from_dict(inst.to_dict())
+        assert again.flows == inst.flows
+        assert again.switch.num_inputs == inst.switch.num_inputs

@@ -1,0 +1,74 @@
+"""Unit tests for repro.core.metrics."""
+
+import numpy as np
+from hypothesis import given
+
+from repro.core.flow import Flow
+from repro.core.greedy import greedy_earliest_fit
+from repro.core.instance import Instance
+from repro.core.metrics import (
+    ScheduleMetrics,
+    average_response_time,
+    max_response_time,
+    response_times,
+    total_response_time,
+)
+from repro.core.schedule import Schedule
+from repro.core.switch import Switch
+from tests.conftest import capacitated_instances
+
+
+def _sched(inst, rounds):
+    return Schedule.from_mapping(inst, dict(enumerate(rounds)))
+
+
+class TestResponseTimes:
+    def test_immediate_schedule_has_response_one(self):
+        inst = Instance.create(Switch.create(2), [Flow(0, 1, 1, 3)])
+        s = _sched(inst, [3])
+        assert response_times(s).tolist() == [1]
+
+    def test_delay_adds_to_response(self):
+        inst = Instance.create(Switch.create(2), [Flow(0, 1, 1, 2)])
+        s = _sched(inst, [5])
+        assert response_times(s).tolist() == [4]
+
+    def test_total_and_average(self, small_instance):
+        s = _sched(small_instance, [0, 1, 2, 1, 1, 2])
+        rts = response_times(s)
+        assert total_response_time(s) == int(rts.sum())
+        assert average_response_time(s) == rts.mean()
+
+    def test_max_response(self, small_instance):
+        s = _sched(small_instance, [0, 1, 4, 1, 1, 2])
+        assert max_response_time(s) == 5
+
+    def test_empty_instance_metrics(self):
+        inst = Instance.create(Switch.create(2), [])
+        s = Schedule(inst, np.zeros(0, dtype=np.int64))
+        assert total_response_time(s) == 0
+        assert average_response_time(s) == 0.0
+        assert max_response_time(s) == 0
+
+
+class TestScheduleMetrics:
+    def test_of_summary(self, small_instance):
+        s = _sched(small_instance, [0, 1, 2, 1, 1, 3])
+        m = ScheduleMetrics.of(s)
+        assert m.num_flows == 6
+        assert m.total_response == total_response_time(s)
+        assert m.max_response == max_response_time(s)
+        assert m.makespan == s.makespan()
+        assert m.max_augmentation == 0
+
+    @given(capacitated_instances())
+    def test_response_at_least_one_per_flow(self, inst):
+        schedule = greedy_earliest_fit(inst)
+        if inst.num_flows:
+            assert (response_times(schedule) >= 1).all()
+            assert total_response_time(schedule) >= inst.num_flows
+
+    @given(capacitated_instances())
+    def test_avg_le_max(self, inst):
+        schedule = greedy_earliest_fit(inst)
+        assert average_response_time(schedule) <= max_response_time(schedule)

@@ -1,0 +1,128 @@
+"""Unit tests for repro.core.schedule."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.core.flow import Flow
+from repro.core.greedy import greedy_earliest_fit
+from repro.core.instance import Instance
+from repro.core.schedule import (
+    Schedule,
+    ScheduleError,
+    is_valid_schedule,
+    validate_schedule,
+)
+from repro.core.switch import Switch
+from tests.conftest import capacitated_instances
+
+
+def _sched(inst, rounds):
+    return Schedule.from_mapping(inst, dict(enumerate(rounds)))
+
+
+class TestScheduleConstruction:
+    def test_from_mapping(self, small_instance):
+        s = _sched(small_instance, [0, 1, 2, 1, 1, 2])
+        assert s.round_of(2) == 2
+
+    def test_missing_flow_rejected(self, small_instance):
+        with pytest.raises(ScheduleError, match="missing"):
+            Schedule.from_mapping(small_instance, {0: 0})
+
+    def test_unknown_fid_rejected(self, small_instance):
+        with pytest.raises(ScheduleError, match="unknown fid"):
+            Schedule.from_mapping(small_instance, {99: 0})
+
+    def test_wrong_shape_rejected(self, small_instance):
+        with pytest.raises(ScheduleError):
+            Schedule(small_instance, np.zeros(3, dtype=np.int64))
+
+    def test_assignment_read_only(self, small_instance):
+        s = _sched(small_instance, [0, 1, 2, 1, 1, 2])
+        with pytest.raises(ValueError):
+            s.assignment[0] = 5
+
+
+class TestScheduleAccessors:
+    def test_completion_times_are_round_plus_one(self, small_instance):
+        s = _sched(small_instance, [0, 1, 2, 1, 1, 2])
+        assert s.completion_times().tolist() == [1, 2, 3, 2, 2, 3]
+
+    def test_makespan(self, small_instance):
+        s = _sched(small_instance, [0, 1, 5, 1, 1, 2])
+        assert s.makespan() == 6
+
+    def test_rounds_used(self, small_instance):
+        s = _sched(small_instance, [0, 1, 2, 1, 1, 2])
+        buckets = s.rounds_used()
+        assert buckets[1] == [1, 3, 4]
+
+    def test_port_round_loads_shape(self, small_instance):
+        s = _sched(small_instance, [0, 1, 2, 1, 1, 2])
+        in_loads, out_loads = s.port_round_loads()
+        assert in_loads.shape == (4, 3)
+        assert out_loads[0].tolist() == [1, 1, 1]  # output 0 each round
+
+    def test_max_augmentation_zero_for_valid(self, small_instance):
+        s = _sched(small_instance, [0, 1, 2, 1, 1, 3])
+        assert s.max_augmentation() == 0
+
+    def test_max_augmentation_counts_excess(self, small_instance):
+        s = _sched(small_instance, [0, 0, 0, 1, 1, 2])  # 3 flows into out 0
+        assert s.max_augmentation() == 2
+
+
+class TestValidation:
+    def test_valid_schedule_passes(self, small_instance):
+        validate_schedule(_sched(small_instance, [0, 1, 2, 1, 1, 3]))
+
+    def test_early_scheduling_rejected(self, small_instance):
+        s = _sched(small_instance, [0, 1, 2, 0, 1, 2])  # fid 3 released at 1
+        with pytest.raises(ScheduleError, match="before its release"):
+            validate_schedule(s)
+
+    def test_port_overload_rejected(self, small_instance):
+        s = _sched(small_instance, [0, 0, 1, 1, 1, 2])
+        with pytest.raises(ScheduleError, match="overloaded"):
+            validate_schedule(s)
+
+    def test_augmented_capacity_accepts_overload(self, small_instance):
+        s = _sched(small_instance, [0, 0, 1, 1, 1, 2])
+        validate_schedule(
+            s, small_instance.switch.augmented(additive=1)
+        )
+
+    def test_is_valid_schedule_boolean(self, small_instance):
+        assert is_valid_schedule(_sched(small_instance, [0, 1, 2, 1, 1, 3]))
+        assert not is_valid_schedule(_sched(small_instance, [0, 0, 0, 1, 1, 2]))
+
+    def test_capacity_switch_port_count_mismatch(self, small_instance):
+        s = _sched(small_instance, [0, 1, 2, 1, 1, 2])
+        with pytest.raises(ScheduleError, match="port counts"):
+            validate_schedule(s, Switch.create(5))
+
+
+class TestGreedyProducesValidSchedules:
+    @given(capacitated_instances())
+    def test_greedy_always_valid(self, inst):
+        schedule = greedy_earliest_fit(inst)
+        validate_schedule(schedule)
+
+    @given(capacitated_instances())
+    def test_greedy_respects_custom_order(self, inst):
+        order = list(reversed(range(inst.num_flows)))
+        schedule = greedy_earliest_fit(inst, order=order)
+        validate_schedule(schedule)
+
+    def test_greedy_key_and_order_mutually_exclusive(self, small_instance):
+        with pytest.raises(ValueError):
+            greedy_earliest_fit(
+                small_instance, order=[0, 1, 2, 3, 4, 5], key=lambda f: f.fid
+            )
+
+    def test_greedy_key_sorting(self, small_instance):
+        schedule = greedy_earliest_fit(
+            small_instance, key=lambda f: (-f.release, f.fid)
+        )
+        validate_schedule(schedule)

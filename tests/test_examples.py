@@ -1,0 +1,51 @@
+"""Smoke tests: every example script runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.parametrize(
+    "script,args,expect",
+    [
+        ("quickstart.py", (), "Offline FS-MRT"),
+        (
+            "datacenter_traffic.py",
+            ("--ports", "8", "--rounds", "5"),
+            "LP bound",
+        ),
+        ("deadline_scheduling.py", (), "tightness"),
+        ("hardness_demo.py", (), "4/3 gap"),
+        ("coflow_shuffle.py", (), "best average co-flow response"),
+    ],
+)
+def test_example_runs(script, args, expect):
+    result = _run(script, *args)
+    assert result.returncode == 0, result.stderr
+    assert expect in result.stdout
+
+
+def test_online_vs_offline_runs():
+    result = _run("online_vs_offline.py")
+    assert result.returncode == 0, result.stderr
+    assert "AMRT" in result.stdout
+
+
+def test_reproduce_figures_quick():
+    result = _run("reproduce_figures.py", "--quick")
+    assert result.returncode == 0, result.stderr
+    assert "Figure 6 panel" in result.stdout
+    assert "Figure 7 panel" in result.stdout

@@ -1,0 +1,111 @@
+"""Tests for the experiment harness and figure renderers."""
+
+import os
+
+import pytest
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    PAPER_LOAD_RATIOS,
+    default_config,
+    paper_scale_config,
+    resolve_config,
+    smoke_config,
+)
+from repro.experiments.fig6 import fig6_series, render_fig6
+from repro.experiments.fig7 import fig7_series, render_fig7
+from repro.experiments.harness import run_sweep
+from repro.experiments.tables import render_series_table
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    config = ExperimentConfig(
+        num_ports=6,
+        load_ratios=(0.5, 2.0),
+        generation_rounds=(3, 5),
+        trials=2,
+        lp_round_limit=3,
+        seed=99,
+    )
+    return run_sweep(config)
+
+
+class TestConfig:
+    def test_paper_ratios(self):
+        assert PAPER_LOAD_RATIOS == (1 / 3, 2 / 3, 1.0, 2.0, 4.0)
+
+    def test_paper_scale_matches_paper(self):
+        cfg = paper_scale_config()
+        assert cfg.num_ports == 150
+        assert cfg.arrival_means() == [50, 100, 150, 300, 600]
+        assert cfg.trials == 10
+        assert cfg.lp_round_limit == 20
+
+    def test_default_is_laptop_scale(self):
+        assert default_config().num_ports == 24
+
+    def test_resolve_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PAPER_SCALE", "1")
+        assert resolve_config().num_ports == 150
+        monkeypatch.setenv("REPRO_PAPER_SCALE", "")
+        assert resolve_config().num_ports == 24
+
+    def test_overrides(self):
+        assert smoke_config(trials=7).trials == 7
+
+
+class TestSweep:
+    def test_all_cells_present(self, tiny_sweep):
+        assert len(tiny_sweep.cells) == 4
+        cell = tiny_sweep.cell(3.0, 5)
+        assert cell.rounds == 5
+
+    def test_policies_measured(self, tiny_sweep):
+        cell = tiny_sweep.cell(3.0, 3)
+        for policy in tiny_sweep.config.policies:
+            assert cell.avg_response[policy] >= 1.0
+            assert cell.max_response[policy] >= 1.0
+            assert (
+                cell.avg_response[policy] <= cell.max_response[policy]
+            )
+
+    def test_lp_bounds_only_within_limit(self, tiny_sweep):
+        assert tiny_sweep.cell(3.0, 3).lp_avg_bound is not None
+        assert tiny_sweep.cell(3.0, 5).lp_avg_bound is None
+
+    def test_lp_bounds_below_heuristics(self, tiny_sweep):
+        cell = tiny_sweep.cell(12.0, 3)
+        for policy in tiny_sweep.config.policies:
+            assert cell.lp_avg_bound <= cell.avg_response[policy] + 1e-9
+            assert cell.lp_max_bound <= cell.max_response[policy] + 1e-9
+
+    def test_timer_recorded(self, tiny_sweep):
+        assert "simulate:MaxCard" in tiny_sweep.timer.totals
+
+
+class TestRendering:
+    def test_series_extraction(self, tiny_sweep):
+        xs, series = fig6_series(tiny_sweep, 3.0)
+        assert xs == [3, 5]
+        assert set(series) == {"MaxCard", "MinRTime", "MaxWeight", "LP"}
+        assert series["LP"][1] is None
+
+    def test_fig7_series(self, tiny_sweep):
+        xs, series = fig7_series(tiny_sweep, 12.0)
+        assert len(series["MinRTime"]) == 2
+
+    def test_render_fig6_contains_panels(self, tiny_sweep):
+        text = render_fig6(tiny_sweep)
+        assert text.count("Figure 6 panel") == 2
+        assert "MaxWeight" in text
+
+    def test_render_fig7(self, tiny_sweep):
+        text = render_fig7(tiny_sweep)
+        assert "maximum response time" in text
+
+    def test_render_table_handles_none(self):
+        text = render_series_table(
+            "t", "T", [1, 2], {"A": [1.0, None]}
+        )
+        assert "-" in text

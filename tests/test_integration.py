@@ -1,0 +1,102 @@
+"""Cross-module integration tests: the full pipelines against each other.
+
+These are the "does the whole paper hang together" checks:
+LP bounds <= exact optima <= algorithm outputs <= greedy, across all
+pipelines on shared instances.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import (
+    greedy_earliest_fit,
+    make_policy,
+    max_response_time,
+    poisson_uniform_workload,
+    run_amrt,
+    simulate,
+    solve_art,
+    solve_mrt,
+    total_response_time,
+    validate_schedule,
+)
+from repro.art.lp_relaxation import art_lp_lower_bound
+from repro.mrt.algorithm import fractional_mrt_lower_bound
+from repro.mrt.exact import exact_min_max_response, exact_min_total_response
+from tests.conftest import unit_instances
+
+
+class TestBoundChains:
+    """The fundamental inequality chains on random instances."""
+
+    @given(unit_instances(max_ports=3, max_flows=5))
+    @settings(max_examples=15, deadline=None)
+    def test_art_chain(self, inst):
+        """LP(1-4) <= OPT <= heuristics and greedy (total response)."""
+        if inst.num_flows == 0:
+            return
+        lb = art_lp_lower_bound(inst)
+        opt = exact_min_total_response(inst)
+        assert lb <= opt + 1e-6
+        for name in ("MaxCard", "MinRTime", "MaxWeight"):
+            sim = simulate(inst, make_policy(name))
+            assert opt <= total_response_time(sim.schedule)
+        assert opt <= total_response_time(greedy_earliest_fit(inst))
+
+    @given(unit_instances(max_ports=3, max_flows=5))
+    @settings(max_examples=15, deadline=None)
+    def test_mrt_chain(self, inst):
+        """LP(19-21) rho* <= OPT <= heuristics (max response)."""
+        if inst.num_flows == 0:
+            return
+        rho_lp = fractional_mrt_lower_bound(inst)
+        opt = exact_min_max_response(inst)
+        assert rho_lp <= opt
+        for name in ("MaxCard", "MinRTime", "MaxWeight"):
+            sim = simulate(inst, make_policy(name))
+            assert opt <= max_response_time(sim.schedule)
+
+
+class TestEndToEndOnWorkloads:
+    def test_full_stack_on_poisson(self):
+        inst = poisson_uniform_workload(6, 5, 5, seed=321)
+        # Online heuristics.
+        sims = {
+            name: simulate(inst, make_policy(name))
+            for name in ("MaxCard", "MinRTime", "MaxWeight")
+        }
+        for sim in sims.values():
+            validate_schedule(sim.schedule)
+        # Offline MRT.
+        mrt = solve_mrt(inst)
+        assert max_response_time(mrt.schedule) <= mrt.rho
+        for sim in sims.values():
+            assert mrt.rho <= sim.metrics.max_response
+        # Offline ART.
+        art = solve_art(inst, c=1)
+        validate_schedule(
+            art.schedule,
+            inst.switch.augmented(factor=art.conversion.capacity_factor),
+        )
+        assert art.lower_bound <= min(
+            sim.metrics.total_response for sim in sims.values()
+        ) + 1e-6
+        # AMRT online.
+        amrt = run_amrt(inst)
+        assert 1 + amrt.max_port_usage <= 2 * (1 + 2 * inst.max_demand - 1)
+
+    def test_same_instance_reproducible_across_runs(self):
+        a = poisson_uniform_workload(8, 6, 4, seed=11)
+        b = poisson_uniform_workload(8, 6, 4, seed=11)
+        sa = simulate(a, make_policy("MaxWeight"))
+        sb = simulate(b, make_policy("MaxWeight"))
+        assert sa.schedule.assignment.tolist() == sb.schedule.assignment.tolist()
+
+    def test_offline_beats_online_on_max_response(self):
+        """The offline LP bound is never above any online policy."""
+        for seed in (1, 2, 3):
+            inst = poisson_uniform_workload(5, 6, 4, seed=seed)
+            rho = fractional_mrt_lower_bound(inst)
+            for name in ("MaxCard", "MinRTime", "MaxWeight"):
+                sim = simulate(inst, make_policy(name))
+                assert rho <= sim.metrics.max_response

@@ -1,0 +1,93 @@
+"""Unit tests for the LP model builder."""
+
+import numpy as np
+import pytest
+
+from repro.lp.model import LinearProgram, Sense
+
+
+class TestVariables:
+    def test_add_and_lookup(self):
+        lp = LinearProgram()
+        idx = lp.add_variable("x", objective=2.0)
+        assert lp.var("x") == idx
+        assert lp.has_var("x")
+        assert not lp.has_var("y")
+        assert lp.num_vars == 1
+
+    def test_duplicate_rejected(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(ValueError, match="duplicate"):
+            lp.add_variable("x")
+
+    def test_tuple_names(self):
+        lp = LinearProgram()
+        lp.add_variable(("b", 0, 3))
+        assert lp.has_var(("b", 0, 3))
+
+    def test_set_objective(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        lp.set_objective("x", 5.0)
+        assert lp.objective_vector().tolist() == [5.0]
+
+    def test_bounds_default(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        assert lp.bounds() == [(0.0, np.inf)]
+
+
+class TestConstraintsAndExport:
+    def _model(self):
+        lp = LinearProgram()
+        lp.add_variable("x", 1.0)
+        lp.add_variable("y", 2.0)
+        lp.add_constraint("le", {"x": 1, "y": 1}, Sense.LE, 5)
+        lp.add_constraint("ge", {"x": 2}, Sense.GE, 1)
+        lp.add_constraint("eq", {"y": 1}, Sense.EQ, 2)
+        return lp
+
+    def test_zero_coefficients_dropped(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        con = lp.add_constraint("c", {"x": 0.0}, Sense.LE, 1)
+        assert con.coeffs == {}
+
+    def test_scipy_arrays(self):
+        lp = self._model()
+        c, a_ub, b_ub, a_eq, b_eq = lp.to_scipy_arrays()
+        assert c.tolist() == [1.0, 2.0]
+        assert a_ub.shape == (2, 2)
+        # GE row negated into LE form.
+        assert b_ub.tolist() == [5.0, -1.0]
+        assert a_ub.toarray()[1].tolist() == [-2.0, 0.0]
+        assert a_eq.shape == (1, 2)
+        assert b_eq.tolist() == [2.0]
+
+    def test_dense_standard_form_slacks(self):
+        lp = self._model()
+        A, b, c, names = lp.to_dense_standard_form()
+        # 3 rows, 2 structural + 2 slack columns (LE and GE).
+        assert A.shape == (3, 4)
+        assert names == ["x", "y"]
+        assert A[0, 2] == 1.0  # LE slack
+        assert A[1, 3] == -1.0  # GE surplus
+
+    def test_dense_standard_form_upper_bounds_become_rows(self):
+        lp = LinearProgram()
+        lp.add_variable("x", 1.0, upper=3.0)
+        A, b, c, _ = lp.to_dense_standard_form()
+        assert A.shape == (1, 2)
+        assert b.tolist() == [3.0]
+
+    def test_dense_standard_form_rejects_nonzero_lower(self):
+        lp = LinearProgram()
+        lp.add_variable("x", lower=1.0)
+        with pytest.raises(ValueError, match="lower bounds"):
+            lp.to_dense_standard_form()
+
+    def test_solution_by_name(self):
+        lp = self._model()
+        sol = lp.solution_by_name(np.array([1.5, 2.0]))
+        assert sol == {"x": 1.5, "y": 2.0}

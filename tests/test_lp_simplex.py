@@ -1,0 +1,126 @@
+"""Unit and property tests for the two-phase simplex solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp.result import LPStatus
+from repro.lp.simplex import simplex_solve
+
+
+class TestSimplexBasics:
+    def test_simple_optimum(self):
+        # min -x - y  s.t.  x + y + s = 4, x + 2y + s2 = 6
+        A = np.array([[1.0, 1.0, 1.0, 0.0], [1.0, 2.0, 0.0, 1.0]])
+        b = np.array([4.0, 6.0])
+        c = np.array([-1.0, -1.0, 0.0, 0.0])
+        res = simplex_solve(A, b, c)
+        assert res.status is LPStatus.OPTIMAL
+        assert res.objective == pytest.approx(-4.0)
+
+    def test_equality_only(self):
+        # min x + y  s.t.  x + y = 3
+        A = np.array([[1.0, 1.0]])
+        b = np.array([3.0])
+        c = np.array([1.0, 1.0])
+        res = simplex_solve(A, b, c)
+        assert res.status is LPStatus.OPTIMAL
+        assert res.objective == pytest.approx(3.0)
+
+    def test_infeasible_detected(self):
+        # x = -1 with x >= 0 is infeasible.
+        A = np.array([[1.0]])
+        b = np.array([-1.0])
+        c = np.array([1.0])
+        res = simplex_solve(A, b, c)
+        assert res.status is LPStatus.INFEASIBLE
+
+    def test_unbounded_detected(self):
+        # min -x  s.t.  x - s = 0 (x can grow with s).
+        A = np.array([[1.0, -1.0]])
+        b = np.array([0.0])
+        c = np.array([-1.0, 0.0])
+        res = simplex_solve(A, b, c)
+        assert res.status is LPStatus.UNBOUNDED
+
+    def test_negative_rhs_normalized(self):
+        # -x = -2  <=>  x = 2.
+        A = np.array([[-1.0]])
+        b = np.array([-2.0])
+        c = np.array([1.0])
+        res = simplex_solve(A, b, c)
+        assert res.status is LPStatus.OPTIMAL
+        assert res.x[0] == pytest.approx(2.0)
+
+    def test_redundant_rows_handled(self):
+        # Duplicate constraint row (rank-deficient phase 1).
+        A = np.array([[1.0, 1.0], [1.0, 1.0]])
+        b = np.array([2.0, 2.0])
+        c = np.array([1.0, 0.0])
+        res = simplex_solve(A, b, c)
+        assert res.status is LPStatus.OPTIMAL
+        assert res.objective == pytest.approx(0.0)
+
+    def test_degenerate_lp_terminates(self):
+        # Classic degeneracy: many tight constraints at the origin.
+        A = np.array(
+            [[1.0, 0.0, 1.0, 0.0, 0.0],
+             [0.0, 1.0, 0.0, 1.0, 0.0],
+             [1.0, 1.0, 0.0, 0.0, 1.0]]
+        )
+        b = np.array([0.0, 0.0, 0.0])
+        c = np.array([-1.0, -1.0, 0.0, 0.0, 0.0])
+        res = simplex_solve(A, b, c)
+        assert res.status is LPStatus.OPTIMAL
+        assert res.objective == pytest.approx(0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            simplex_solve(np.eye(2), np.zeros(3), np.zeros(2))
+
+    def test_solution_is_basic(self):
+        # At most rank(A) nonzeros in a basic solution.
+        A = np.hstack([np.ones((1, 5))])
+        b = np.array([1.0])
+        c = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        res = simplex_solve(A, b, c)
+        assert res.status is LPStatus.OPTIMAL
+        assert (np.abs(res.x) > 1e-9).sum() <= 1
+
+
+@st.composite
+def random_lps(draw):
+    """Random small LPs in equality standard form."""
+    m = draw(st.integers(1, 4))
+    n = draw(st.integers(1, 6))
+    ints = st.integers(-3, 3)
+    A = np.array(
+        [[draw(ints) for _ in range(n)] for _ in range(m)], dtype=float
+    )
+    b = np.array([draw(st.integers(0, 8)) for _ in range(m)], dtype=float)
+    c = np.array([draw(st.integers(-4, 4)) for _ in range(n)], dtype=float)
+    return A, b, c
+
+
+class TestSimplexAgainstHiGHS:
+    @given(random_lps())
+    @settings(max_examples=120, deadline=None)
+    def test_matches_scipy(self, lp):
+        from scipy.optimize import linprog
+
+        A, b, c = lp
+        ours = simplex_solve(A, b, c)
+        ref = linprog(c, A_eq=A, b_eq=b, bounds=(0, None), method="highs")
+        if ours.status is LPStatus.OPTIMAL:
+            assert ref.status == 0
+            assert ours.objective == pytest.approx(ref.fun, abs=1e-6)
+            # Solution must satisfy the constraints.
+            assert np.allclose(A @ ours.x, b, atol=1e-6)
+            assert (ours.x >= -1e-9).all()
+        elif ours.status is LPStatus.INFEASIBLE:
+            assert ref.status == 2
+        elif ours.status is LPStatus.UNBOUNDED:
+            # HiGHS may report 2 or 3 for empty/unbounded combinations;
+            # ours proved feasibility first, so it must be 3.
+            assert ref.status == 3

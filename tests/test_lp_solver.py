@@ -1,0 +1,97 @@
+"""Tests for the LP backend dispatch (repro.lp.solver)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp.model import LinearProgram, Sense
+from repro.lp.result import LPStatus
+from repro.lp.solver import solve_lp
+
+
+def _transport_lp():
+    """min x+3y st x+y >= 2, y <= 1 — optimum 4 at (1, 1)? No: (2,0) -> 2."""
+    lp = LinearProgram()
+    lp.add_variable("x", 1.0)
+    lp.add_variable("y", 3.0)
+    lp.add_constraint("demand", {"x": 1, "y": 1}, Sense.GE, 2)
+    lp.add_constraint("cap", {"y": 1}, Sense.LE, 1)
+    return lp
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", ["simplex", "highs", "highs-ds"])
+    def test_all_backends_agree(self, backend):
+        res = solve_lp(_transport_lp(), backend=backend)
+        assert res.status is LPStatus.OPTIMAL
+        assert res.objective == pytest.approx(2.0)
+        assert res.backend == backend
+
+    def test_auto_prefers_highs(self):
+        res = solve_lp(_transport_lp(), backend="auto")
+        assert res.backend == "highs"
+
+    def test_auto_with_vertex_uses_highs_ds(self):
+        res = solve_lp(_transport_lp(), backend="auto", need_vertex=True)
+        assert res.backend == "highs-ds"
+        assert res.is_vertex
+
+    def test_simplex_always_vertex(self):
+        res = solve_lp(_transport_lp(), backend="simplex")
+        assert res.is_vertex
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            solve_lp(_transport_lp(), backend="gurobi")
+
+    def test_empty_model(self):
+        res = solve_lp(LinearProgram())
+        assert res.is_optimal
+        assert res.objective == 0.0
+
+    def test_infeasible_model(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        lp.add_constraint("c1", {"x": 1}, Sense.LE, 1)
+        lp.add_constraint("c2", {"x": 1}, Sense.GE, 2)
+        for backend in ("simplex", "highs"):
+            assert solve_lp(lp, backend=backend).status is LPStatus.INFEASIBLE
+
+    def test_unbounded_model(self):
+        lp = LinearProgram()
+        lp.add_variable("x", -1.0)
+        assert solve_lp(lp, backend="highs").status is LPStatus.UNBOUNDED
+
+    def test_variable_upper_bounds_respected(self):
+        lp = LinearProgram()
+        lp.add_variable("x", -1.0, upper=2.5)
+        for backend in ("simplex", "highs"):
+            res = solve_lp(lp, backend=backend)
+            assert res.objective == pytest.approx(-2.5)
+
+
+@st.composite
+def random_models(draw):
+    lp = LinearProgram()
+    nv = draw(st.integers(1, 5))
+    for j in range(nv):
+        lp.add_variable(f"x{j}", draw(st.integers(-3, 3)))
+    for i in range(draw(st.integers(1, 5))):
+        coeffs = {f"x{j}": draw(st.integers(-2, 3)) for j in range(nv)}
+        sense = draw(st.sampled_from([Sense.LE, Sense.GE, Sense.EQ]))
+        lp.add_constraint(i, coeffs, sense, draw(st.integers(0, 6)))
+    return lp
+
+
+class TestBackendAgreementProperty:
+    @given(random_models())
+    @settings(max_examples=80, deadline=None)
+    def test_simplex_agrees_with_highs(self, lp):
+        ours = solve_lp(lp, backend="simplex")
+        ref = solve_lp(lp, backend="highs")
+        if LPStatus.OPTIMAL in (ours.status, ref.status):
+            assert ours.status == ref.status
+            assert ours.objective == pytest.approx(
+                ref.objective, abs=1e-6, rel=1e-6
+            )

@@ -1,0 +1,67 @@
+"""Unit tests for the bipartite multigraph container."""
+
+import pytest
+
+from repro.matching.bipartite import BipartiteMultigraph
+
+
+class TestConstruction:
+    def test_add_edge_returns_id(self):
+        g = BipartiteMultigraph(2, 2)
+        assert g.add_edge(0, 1) == 0
+        assert g.add_edge(1, 0, payload="f") == 1
+        assert g.payloads[1] == "f"
+        assert g.n_edges == 2
+
+    def test_parallel_edges_allowed(self):
+        g = BipartiteMultigraph(1, 1)
+        g.add_edge(0, 0)
+        g.add_edge(0, 0)
+        assert g.n_edges == 2
+        assert g.max_degree() == 2
+
+    def test_out_of_range_left_rejected(self):
+        with pytest.raises(ValueError):
+            BipartiteMultigraph(2, 2).add_edge(2, 0)
+
+    def test_out_of_range_right_rejected(self):
+        with pytest.raises(ValueError):
+            BipartiteMultigraph(2, 2).add_edge(0, 2)
+
+    def test_from_edges_with_payloads(self):
+        g = BipartiteMultigraph.from_edges(2, 2, [(0, 0), (1, 1)], ["a", "b"])
+        assert g.payloads == ["a", "b"]
+
+
+class TestDegreesAndAdjacency:
+    def _graph(self):
+        g = BipartiteMultigraph(3, 2)
+        for u, v in [(0, 0), (0, 1), (1, 0), (0, 0)]:
+            g.add_edge(u, v)
+        return g
+
+    def test_left_degrees(self):
+        assert self._graph().left_degrees().tolist() == [3, 1, 0]
+
+    def test_right_degrees(self):
+        assert self._graph().right_degrees().tolist() == [3, 1]
+
+    def test_max_degree(self):
+        assert self._graph().max_degree() == 3
+
+    def test_max_degree_empty(self):
+        assert BipartiteMultigraph(3, 3).max_degree() == 0
+
+    def test_adjacency_left(self):
+        adj = self._graph().adjacency_left()
+        assert adj[0] == [0, 1, 3]
+        assert adj[2] == []
+
+    def test_adjacency_right(self):
+        adj = self._graph().adjacency_right()
+        assert adj[0] == [0, 2, 3]
+
+    def test_subgraph(self):
+        sub = self._graph().subgraph([1, 2])
+        assert sub.n_edges == 2
+        assert sub.edges == [(0, 1), (1, 0)]

@@ -1,0 +1,114 @@
+"""Tests for Birkhoff–von-Neumann decomposition and b-matchings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.b_matching import (
+    is_b_matching,
+    project_coloring,
+    replicate_ports,
+)
+from repro.matching.bipartite import BipartiteMultigraph
+from repro.matching.bvn import decompose_into_matchings, verify_decomposition
+from tests.conftest import bipartite_edge_lists
+
+
+def _graph(n_left, n_right, edges):
+    g = BipartiteMultigraph(n_left, n_right)
+    for u, v in edges:
+        g.add_edge(u, v)
+    return g
+
+
+class TestDecomposition:
+    def test_k33_into_three_matchings(self):
+        g = _graph(3, 3, [(u, v) for u in range(3) for v in range(3)])
+        matchings = decompose_into_matchings(g)
+        verify_decomposition(g, matchings)
+        assert len(matchings) == 3
+        assert all(len(m) == 3 for m in matchings)
+
+    def test_empty(self):
+        assert decompose_into_matchings(_graph(2, 2, [])) == []
+
+    def test_verify_rejects_duplicate_edge(self):
+        g = _graph(2, 2, [(0, 0), (1, 1)])
+        with pytest.raises(AssertionError, match="two classes"):
+            verify_decomposition(g, [[0, 1], [0]])
+
+    def test_verify_rejects_vertex_reuse(self):
+        g = _graph(1, 2, [(0, 0), (0, 1)])
+        with pytest.raises(AssertionError, match="reuses a vertex"):
+            verify_decomposition(g, [[0, 1]])
+
+    def test_verify_rejects_missing_edges(self):
+        g = _graph(2, 2, [(0, 0), (1, 1)])
+        with pytest.raises(AssertionError, match="cover"):
+            verify_decomposition(g, [[0]])
+
+    @given(bipartite_edge_lists(max_side=5, max_edges=18))
+    @settings(max_examples=120, deadline=None)
+    def test_decomposition_always_valid(self, data):
+        n_left, n_right, edges = data
+        g = _graph(n_left, n_right, edges)
+        matchings = decompose_into_matchings(g)
+        verify_decomposition(g, matchings)
+
+
+class TestPortReplication:
+    def test_replica_degree_bounded(self):
+        # Port 0 has 4 edges, capacity 2 -> replicas of degree <= 2.
+        g = _graph(1, 4, [(0, j) for j in range(4)])
+        rep, emap = replicate_ports(g, [2], [1, 1, 1, 1])
+        assert rep.n_left == 2
+        assert rep.left_degrees().max() == 2
+        assert emap.tolist() == [0, 1, 2, 3]
+
+    def test_capacity_vector_length_checked(self):
+        g = _graph(2, 2, [(0, 0)])
+        with pytest.raises(ValueError):
+            replicate_ports(g, [1], [1, 1])
+
+    def test_zero_capacity_rejected(self):
+        g = _graph(1, 1, [(0, 0)])
+        with pytest.raises(ValueError):
+            replicate_ports(g, [0], [1])
+
+    def test_projected_classes_are_b_matchings(self):
+        left_caps, right_caps = [2, 1], [1, 2]
+        edges = [(0, 0), (0, 1), (0, 1), (1, 1), (0, 0), (1, 0)]
+        g = _graph(2, 2, edges)
+        rep, emap = replicate_ports(g, left_caps, right_caps)
+        classes = decompose_into_matchings(rep)
+        projected = project_coloring(emap, classes)
+        covered = sorted(e for cls in projected for e in cls)
+        assert covered == list(range(len(edges)))
+        for cls in projected:
+            assert is_b_matching(g, cls, left_caps, right_caps)
+
+    @given(
+        bipartite_edge_lists(max_side=4, max_edges=14),
+        st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_replication_property(self, data, draw):
+        n_left, n_right, edges = data
+        g = _graph(n_left, n_right, edges)
+        left_caps = [draw.draw(st.integers(1, 3)) for _ in range(n_left)]
+        right_caps = [draw.draw(st.integers(1, 3)) for _ in range(n_right)]
+        rep, emap = replicate_ports(g, left_caps, right_caps)
+        assert rep.n_edges == g.n_edges
+        # Replica degree bound: ceil(deg / cap).
+        for u in range(n_left):
+            deg = int(g.left_degrees()[u])
+            if deg:
+                assert rep.left_degrees().max() <= max(
+                    -(-int(g.left_degrees()[w]) // left_caps[w])
+                    for w in range(n_left)
+                    if g.left_degrees()[w]
+                )
+        classes = decompose_into_matchings(rep)
+        for cls in project_coloring(emap, classes):
+            assert is_b_matching(g, cls, left_caps, right_caps)

@@ -1,0 +1,88 @@
+"""Tests for König bipartite edge coloring."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.matching.bipartite import BipartiteMultigraph
+from repro.matching.edge_coloring import (
+    color_classes,
+    edge_color_bipartite,
+    is_proper_coloring,
+)
+from tests.conftest import bipartite_edge_lists
+
+
+def _graph(n_left, n_right, edges):
+    g = BipartiteMultigraph(n_left, n_right)
+    for u, v in edges:
+        g.add_edge(u, v)
+    return g
+
+
+class TestKnownGraphs:
+    def test_single_edge(self):
+        g = _graph(1, 1, [(0, 0)])
+        colors = edge_color_bipartite(g)
+        assert colors.tolist() == [0]
+
+    def test_empty_graph(self):
+        assert edge_color_bipartite(_graph(2, 2, [])).size == 0
+
+    def test_complete_bipartite_k33_needs_three(self):
+        edges = [(u, v) for u in range(3) for v in range(3)]
+        g = _graph(3, 3, edges)
+        colors = edge_color_bipartite(g)
+        assert is_proper_coloring(g, colors)
+        assert len(set(colors.tolist())) == 3  # Δ = 3 exactly
+
+    def test_parallel_edges_get_distinct_colors(self):
+        g = _graph(1, 1, [(0, 0), (0, 0), (0, 0)])
+        colors = edge_color_bipartite(g)
+        assert sorted(colors.tolist()) == [0, 1, 2]
+
+    def test_path_alternates_two_colors(self):
+        # Path of length 4: degrees <= 2, so exactly 2 colors.
+        g = _graph(3, 2, [(0, 0), (1, 0), (1, 1), (2, 1)])
+        colors = edge_color_bipartite(g)
+        assert is_proper_coloring(g, colors)
+        assert set(colors.tolist()) <= {0, 1}
+
+    def test_color_classes_partition(self):
+        edges = [(u, v) for u in range(3) for v in range(3)]
+        g = _graph(3, 3, edges)
+        classes = color_classes(g, edge_color_bipartite(g))
+        all_eids = sorted(e for cls in classes.values() for e in cls)
+        assert all_eids == list(range(9))
+
+
+class TestColoringProperties:
+    @given(bipartite_edge_lists(max_side=6, max_edges=20))
+    @settings(max_examples=150, deadline=None)
+    def test_always_proper_with_delta_colors(self, data):
+        n_left, n_right, edges = data
+        g = _graph(n_left, n_right, edges)
+        colors = edge_color_bipartite(g)
+        if g.n_edges:
+            assert is_proper_coloring(g, colors)
+            # König: exactly Δ colors suffice.
+            assert colors.max() + 1 <= g.max_degree()
+            assert colors.min() >= 0
+
+    @given(bipartite_edge_lists(max_side=4, max_edges=16))
+    @settings(max_examples=80, deadline=None)
+    def test_is_proper_coloring_detects_violations(self, data):
+        n_left, n_right, edges = data
+        g = _graph(n_left, n_right, edges)
+        if g.n_edges < 2:
+            return
+        colors = edge_color_bipartite(g)
+        # Deliberately break properness when two edges share a vertex.
+        for i in range(g.n_edges):
+            for j in range(i + 1, g.n_edges):
+                ui, vi = g.edges[i]
+                uj, vj = g.edges[j]
+                if ui == uj or vi == vj:
+                    bad = colors.copy()
+                    bad[j] = bad[i]
+                    assert not is_proper_coloring(g, bad)
+                    return

@@ -1,0 +1,92 @@
+"""Tests for Hopcroft–Karp maximum-cardinality matching."""
+
+import itertools
+
+import networkx as nx
+from hypothesis import given, settings
+
+from repro.matching.bipartite import BipartiteMultigraph
+from repro.matching.hopcroft_karp import (
+    max_cardinality_matching,
+    maximum_matching_size,
+)
+from tests.conftest import bipartite_edge_lists
+
+
+def _graph(n_left, n_right, edges):
+    g = BipartiteMultigraph(n_left, n_right)
+    for u, v in edges:
+        g.add_edge(u, v)
+    return g
+
+
+def _is_matching(graph, matching):
+    lefts, rights = set(), set()
+    for u, eid in matching.items():
+        eu, ev = graph.edges[eid]
+        assert eu == u
+        assert u not in lefts and ev not in rights
+        lefts.add(u)
+        rights.add(ev)
+    return True
+
+
+class TestKnownGraphs:
+    def test_perfect_matching_on_cycle(self):
+        g = _graph(3, 3, [(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 0)])
+        assert maximum_matching_size(g) == 3
+
+    def test_star_matches_one(self):
+        g = _graph(1, 4, [(0, j) for j in range(4)])
+        assert maximum_matching_size(g) == 1
+
+    def test_empty_graph(self):
+        assert maximum_matching_size(_graph(3, 3, [])) == 0
+
+    def test_parallel_edges_count_once(self):
+        g = _graph(1, 1, [(0, 0), (0, 0), (0, 0)])
+        assert maximum_matching_size(g) == 1
+
+    def test_koenig_example(self):
+        # Bipartite graph whose max matching is limited by a vertex cover.
+        edges = [(0, 0), (1, 0), (2, 0), (0, 1), (0, 2)]
+        assert maximum_matching_size(_graph(3, 3, edges)) == 2
+
+    def test_matching_structure_valid(self):
+        g = _graph(4, 4, [(i, (i + 1) % 4) for i in range(4)] + [(0, 0)])
+        matching = max_cardinality_matching(g)
+        _is_matching(g, matching)
+
+
+class TestAgainstReferences:
+    @given(bipartite_edge_lists())
+    @settings(max_examples=150, deadline=None)
+    def test_size_matches_networkx(self, data):
+        n_left, n_right, edges = data
+        g = _graph(n_left, n_right, edges)
+        matching = max_cardinality_matching(g)
+        _is_matching(g, matching)
+
+        G = nx.Graph()
+        G.add_nodes_from((("L", u) for u in range(n_left)))
+        G.add_nodes_from((("R", v) for v in range(n_right)))
+        G.add_edges_from((("L", u), ("R", v)) for u, v in edges)
+        ref = nx.bipartite.maximum_matching(
+            G, top_nodes=[("L", u) for u in range(n_left)]
+        )
+        assert len(matching) == len(ref) // 2
+
+    @given(bipartite_edge_lists(max_side=3, max_edges=6))
+    @settings(max_examples=60, deadline=None)
+    def test_size_matches_bruteforce(self, data):
+        n_left, n_right, edges = data
+        g = _graph(n_left, n_right, edges)
+        got = maximum_matching_size(g)
+        best = 0
+        for r in range(min(n_left, n_right, len(edges)) + 1):
+            for comb in itertools.combinations(range(len(edges)), r):
+                us = [edges[i][0] for i in comb]
+                vs = [edges[i][1] for i in comb]
+                if len(set(us)) == r and len(set(vs)) == r:
+                    best = max(best, r)
+        assert got == best

@@ -1,0 +1,65 @@
+"""Tests for König minimum vertex cover (matching certificates)."""
+
+from hypothesis import given, settings
+
+from repro.matching.bipartite import BipartiteMultigraph
+from repro.matching.vertex_cover import (
+    certify_maximum_matching,
+    is_vertex_cover,
+    minimum_vertex_cover,
+)
+from tests.conftest import bipartite_edge_lists
+
+
+def _graph(n_left, n_right, edges):
+    g = BipartiteMultigraph(n_left, n_right)
+    for u, v in edges:
+        g.add_edge(u, v)
+    return g
+
+
+class TestKnownGraphs:
+    def test_empty_graph(self):
+        cover, matching = minimum_vertex_cover(_graph(3, 3, []))
+        assert cover == set()
+        assert matching == {}
+
+    def test_single_edge(self):
+        cover, matching = minimum_vertex_cover(_graph(1, 1, [(0, 0)]))
+        assert len(cover) == 1 == len(matching)
+
+    def test_star_covered_by_center(self):
+        g = _graph(1, 5, [(0, j) for j in range(5)])
+        cover, matching = minimum_vertex_cover(g)
+        assert cover == {("L", 0)}
+        assert len(matching) == 1
+
+    def test_k33(self):
+        g = _graph(3, 3, [(u, v) for u in range(3) for v in range(3)])
+        cover, matching = minimum_vertex_cover(g)
+        assert len(cover) == 3 == len(matching)
+        assert is_vertex_cover(g, cover)
+
+    def test_path(self):
+        # L0-R0-L1-R1: max matching 2, cover 2.
+        g = _graph(2, 2, [(0, 0), (1, 0), (1, 1)])
+        cover, matching = minimum_vertex_cover(g)
+        assert len(cover) == len(matching) == 2
+        assert is_vertex_cover(g, cover)
+
+    def test_is_vertex_cover_detects_gap(self):
+        g = _graph(2, 2, [(0, 0), (1, 1)])
+        assert not is_vertex_cover(g, {("L", 0)})
+
+
+class TestKoenigProperty:
+    @given(bipartite_edge_lists(max_side=6, max_edges=18))
+    @settings(max_examples=150, deadline=None)
+    def test_cover_size_equals_matching_size(self, data):
+        """König's theorem as a self-certificate for Hopcroft-Karp."""
+        n_left, n_right, edges = data
+        g = _graph(n_left, n_right, edges)
+        cover, matching = minimum_vertex_cover(g)
+        assert is_vertex_cover(g, cover)
+        assert len(cover) == len(matching)
+        assert certify_maximum_matching(g)

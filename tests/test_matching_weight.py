@@ -1,0 +1,114 @@
+"""Tests for maximum-weight bipartite matching."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.weight_matching import (
+    matching_weight,
+    max_weight_matching,
+    solve_dense_assignment,
+)
+from tests.conftest import bipartite_edge_lists
+
+
+class TestDenseAssignment:
+    def test_identity_cheapest(self):
+        cost = np.array([[0.0, 9.0], [9.0, 0.0]])
+        assert solve_dense_assignment(cost).tolist() == [0, 1]
+
+    def test_rectangular(self):
+        cost = np.array([[5.0, 1.0, 9.0]])
+        assert solve_dense_assignment(cost).tolist() == [1]
+
+    def test_rows_gt_cols_rejected(self):
+        with pytest.raises(ValueError):
+            solve_dense_assignment(np.zeros((3, 2)))
+
+    @given(
+        st.integers(1, 5),
+        st.integers(1, 5),
+        st.integers(0, 10**6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_scipy(self, n, extra, seed):
+        from scipy.optimize import linear_sum_assignment
+
+        m = n + extra - 1
+        if n > m:
+            n, m = m, n
+        rng = np.random.default_rng(seed)
+        cost = rng.integers(0, 20, size=(n, m)).astype(float)
+        ours = solve_dense_assignment(cost)
+        rows, cols = linear_sum_assignment(cost)
+        assert cost[np.arange(n), ours].sum() == pytest.approx(
+            cost[rows, cols].sum()
+        )
+        assert len(set(ours.tolist())) == n  # distinct columns
+
+
+class TestMaxWeightMatching:
+    def test_prefers_heavy_edge(self):
+        got = max_weight_matching(2, 2, [(0, 0), (0, 1), (1, 0)], [1, 10, 10])
+        assert matching_weight(got, [1, 10, 10]) == 20
+
+    def test_zero_weight_edges_unmatched(self):
+        got = max_weight_matching(1, 1, [(0, 0)], [0.0])
+        assert got == {}
+
+    def test_parallel_edges_heaviest_wins(self):
+        got = max_weight_matching(1, 1, [(0, 0), (0, 0)], [1.0, 5.0])
+        assert got == {0: 1}
+
+    def test_empty_inputs(self):
+        assert max_weight_matching(0, 3, [], []) == {}
+        assert max_weight_matching(3, 3, [], []) == {}
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            max_weight_matching(1, 1, [(0, 0)], [-1.0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            max_weight_matching(1, 1, [(0, 0)], [])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            max_weight_matching(1, 1, [(0, 1)], [1.0])
+
+    def test_left_larger_than_right(self):
+        got = max_weight_matching(
+            3, 1, [(0, 0), (1, 0), (2, 0)], [1.0, 5.0, 3.0]
+        )
+        assert matching_weight(got, [1.0, 5.0, 3.0]) == 5.0
+
+    @given(bipartite_edge_lists(max_side=4, max_edges=8), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_optimal_vs_bruteforce(self, data, draw):
+        n_left, n_right, edges = data
+        weights = [
+            float(draw.draw(st.integers(0, 9))) for _ in range(len(edges))
+        ]
+        got = max_weight_matching(n_left, n_right, edges, weights)
+        got_weight = matching_weight(got, weights)
+        # Structure: a valid matching.
+        lefts = set()
+        rights = set()
+        for u, eid in got.items():
+            eu, ev = edges[eid]
+            assert eu == u
+            assert u not in lefts and ev not in rights
+            lefts.add(u)
+            rights.add(ev)
+        # Optimality by exhaustive search.
+        best = 0.0
+        for r in range(min(n_left, n_right, len(edges)) + 1):
+            for comb in itertools.combinations(range(len(edges)), r):
+                us = [edges[i][0] for i in comb]
+                vs = [edges[i][1] for i in comb]
+                if len(set(us)) == r and len(set(vs)) == r:
+                    best = max(best, sum(weights[i] for i in comb))
+        assert got_weight == pytest.approx(best)

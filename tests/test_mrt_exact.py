@@ -1,0 +1,76 @@
+"""Tests for the exact brute-force solvers (test oracles)."""
+
+from hypothesis import given, settings
+
+from repro.core.flow import Flow
+from repro.core.greedy import greedy_earliest_fit
+from repro.core.instance import Instance
+from repro.core.metrics import max_response_time, total_response_time
+from repro.core.schedule import validate_schedule
+from repro.core.switch import Switch
+from repro.mrt.exact import (
+    exact_min_max_response,
+    exact_min_total_response,
+    exact_time_constrained_schedule,
+)
+from repro.mrt.time_constrained import TimeConstrainedInstance, from_response_bound
+from tests.conftest import unit_instances
+
+
+class TestExactTimeConstrained:
+    def test_finds_schedule(self):
+        inst = Instance.create(Switch.create(2), [Flow(0, 0), Flow(0, 1)])
+        sched = exact_time_constrained_schedule(from_response_bound(inst, 2))
+        assert sched is not None
+        validate_schedule(sched)
+
+    def test_detects_infeasible(self):
+        inst = Instance.create(Switch.create(2), [Flow(0, 0), Flow(0, 1)])
+        assert exact_time_constrained_schedule(from_response_bound(inst, 1)) is None
+
+    def test_respects_noncontiguous_windows(self):
+        inst = Instance.create(Switch.create(1, 1), [Flow(0, 0), Flow(0, 0)])
+        tci = TimeConstrainedInstance(inst, ((3, 7), (3, 7)))
+        sched = exact_time_constrained_schedule(tci)
+        assert sorted(sched.assignment.tolist()) == [3, 7]
+
+    def test_empty(self):
+        inst = Instance.create(Switch.create(1), [])
+        tci = TimeConstrainedInstance(inst, ())
+        assert exact_time_constrained_schedule(tci) is not None
+
+
+class TestExactOptima:
+    def test_min_max_response_known(self):
+        inst = Instance.create(
+            Switch.create(3), [Flow(i, 0) for i in range(3)]
+        )
+        assert exact_min_max_response(inst) == 3
+
+    def test_min_total_response_known(self):
+        # Incast of 3: responses 1+2+3 = 6.
+        inst = Instance.create(
+            Switch.create(3), [Flow(i, 0) for i in range(3)]
+        )
+        assert exact_min_total_response(inst) == 6
+
+    def test_release_gaps_dont_inflate(self):
+        inst = Instance.create(
+            Switch.create(2), [Flow(0, 0, 1, 0), Flow(1, 1, 1, 5)]
+        )
+        assert exact_min_max_response(inst) == 1
+        assert exact_min_total_response(inst) == 2
+
+    @given(unit_instances(max_ports=3, max_flows=5))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_bounds_greedy(self, inst):
+        if inst.num_flows == 0:
+            return
+        greedy = greedy_earliest_fit(inst)
+        assert exact_min_max_response(inst) <= max_response_time(greedy)
+        assert exact_min_total_response(inst) <= total_response_time(greedy)
+
+    @given(unit_instances(max_ports=3, max_flows=5))
+    @settings(max_examples=20, deadline=None)
+    def test_total_response_at_least_n(self, inst):
+        assert exact_min_total_response(inst) >= inst.num_flows

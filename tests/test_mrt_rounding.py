@@ -1,0 +1,89 @@
+"""Tests for the Theorem 3 rounding (Lemma 4.3 guarantee)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.flow import Flow
+from repro.core.instance import Instance
+from repro.core.schedule import validate_schedule
+from repro.core.switch import Switch
+from repro.mrt.lp_relaxation import is_fractionally_feasible
+from repro.mrt.rounding import round_time_constrained
+from repro.mrt.time_constrained import (
+    TimeConstrainedInstance,
+    from_response_bound,
+)
+from tests.conftest import capacitated_instances
+
+
+class TestBasicRounding:
+    def test_empty_instance(self):
+        inst = Instance.create(Switch.create(1), [])
+        res = round_time_constrained(from_response_bound(inst.shifted(0), 1))
+        assert res.feasible
+        assert res.schedule.instance.num_flows == 0
+
+    def test_trivially_schedulable(self):
+        inst = Instance.create(Switch.create(2), [Flow(0, 0), Flow(1, 1)])
+        res = round_time_constrained(from_response_bound(inst, 1))
+        assert res.feasible
+        assert res.max_violation == 0
+        validate_schedule(res.schedule)
+
+    def test_infeasible_reported(self):
+        inst = Instance.create(Switch.create(2), [Flow(0, 0), Flow(0, 1)])
+        res = round_time_constrained(from_response_bound(inst, 1))
+        assert not res.feasible
+        assert res.schedule is None
+
+    def test_schedule_within_active_rounds(self):
+        inst = Instance.create(
+            Switch.create(2), [Flow(0, 0, 1, 0), Flow(0, 1, 1, 1)]
+        )
+        tci = from_response_bound(inst, 2)
+        res = round_time_constrained(tci)
+        assert res.feasible
+        for fid, t in enumerate(res.schedule.assignment):
+            assert int(t) in tci.active_rounds[fid]
+
+    def test_violation_bound_with_demands(self):
+        # Demand-2 flows crammed into few rounds: violation <= 2*2-1 = 3.
+        sw = Switch.create(2, 2, 2)
+        flows = [Flow(0, 0, 2, 0), Flow(0, 1, 2, 0), Flow(1, 0, 2, 0)]
+        inst = Instance.create(sw, flows)
+        tci = from_response_bound(inst, 2)
+        res = round_time_constrained(tci)
+        if res.feasible:
+            assert res.max_violation <= 2 * inst.max_demand - 1
+
+    def test_non_contiguous_active_rounds(self):
+        inst = Instance.create(Switch.create(1, 1), [Flow(0, 0), Flow(0, 0)])
+        tci = TimeConstrainedInstance(inst, ((0, 5), (0, 5)))
+        res = round_time_constrained(tci)
+        assert res.feasible
+        assert sorted(res.schedule.assignment.tolist()) == [0, 5]
+
+
+class TestTheoremThreeProperty:
+    @given(capacitated_instances(max_flows=6))
+    @settings(max_examples=50, deadline=None)
+    def test_violation_never_exceeds_bound(self, inst):
+        """The headline guarantee: violation <= 2*d_max - 1, all flows in
+        their windows, feasibility iff LP feasibility."""
+        if inst.num_flows == 0:
+            return
+        for rho in (1, 2, 4):
+            tci = from_response_bound(inst, rho)
+            res = round_time_constrained(tci)
+            assert res.feasible == is_fractionally_feasible(tci)
+            if res.feasible:
+                assert res.max_violation <= 2 * inst.max_demand - 1
+                assert res.fallback_drops == 0
+                for fid, t in enumerate(res.schedule.assignment):
+                    assert int(t) in tci.active_rounds[fid]
+                validate_schedule(
+                    res.schedule,
+                    inst.switch.augmented(additive=2 * inst.max_demand - 1),
+                )
+                return  # one feasible rho suffices per example

@@ -1,0 +1,80 @@
+"""Tests for the AMRT online algorithm (Lemma 5.3)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.flow import Flow
+from repro.core.instance import Instance
+from repro.core.schedule import validate_schedule
+from repro.core.switch import Switch
+from repro.mrt.algorithm import solve_mrt
+from repro.online.amrt import run_amrt
+from repro.workloads.synthetic import poisson_uniform_workload
+from tests.conftest import unit_instances
+
+
+class TestAMRTBasics:
+    def test_empty(self):
+        res = run_amrt(Instance.create(Switch.create(1), []))
+        assert res.batches == 0
+
+    def test_single_flow(self):
+        inst = Instance.create(Switch.create(2), [Flow(0, 1)])
+        res = run_amrt(inst)
+        assert res.metrics.max_response >= 1
+        assert res.batches == 1
+
+    def test_all_flows_scheduled_after_release(self):
+        inst = poisson_uniform_workload(4, 3, 5, seed=1)
+        res = run_amrt(inst)
+        assert (res.schedule.assignment >= inst.releases()).all()
+
+    def test_guess_monotone_and_converges(self):
+        inst = poisson_uniform_workload(6, 6, 6, seed=2)
+        res = run_amrt(inst)
+        off = solve_mrt(inst)
+        # The guess never exceeds the offline optimum bound (it stops
+        # growing once feasible), modulo the +1 probing step.
+        assert res.final_rho <= off.rho + 1
+
+    def test_max_rho_guard(self):
+        inst = Instance.create(
+            Switch.create(2), [Flow(0, 0), Flow(0, 1), Flow(0, 0, 1, 1)]
+        )
+        with pytest.raises(RuntimeError, match="converge"):
+            run_amrt(inst, max_rho=1)
+
+
+class TestLemma53Guarantees:
+    @given(unit_instances(max_ports=4, max_flows=8))
+    @settings(max_examples=20, deadline=None)
+    def test_capacity_usage_bound(self, inst):
+        """Port usage <= 2 (c_p + 2 d_max - 1)."""
+        if inst.num_flows == 0:
+            return
+        res = run_amrt(inst)
+        d_max = inst.max_demand
+        assert 1 + res.max_port_usage <= 2 * (1 + 2 * d_max - 1)
+        validate_schedule(
+            res.schedule,
+            inst.switch.augmented(additive=res.max_port_usage),
+        )
+
+    @given(unit_instances(max_ports=4, max_flows=8))
+    @settings(max_examples=15, deadline=None)
+    def test_two_x_bound_at_steady_rho(self, inst):
+        """With the guess warmed up to rho*, max response <= 2 rho*
+        (the Lemma 5.3 competitive guarantee after ramp-up)."""
+        if inst.num_flows == 0:
+            return
+        rho_star = solve_mrt(inst).rho
+        res = run_amrt(inst, initial_rho=rho_star)
+        assert res.metrics.max_response <= 2 * rho_star
+
+    def test_batches_overlap_at_most_two(self):
+        """Per-round load never exceeds two batches' worth."""
+        inst = poisson_uniform_workload(4, 4, 6, seed=9)
+        res = run_amrt(inst)
+        d_max = inst.max_demand
+        per_batch = 1 + 2 * d_max - 1  # unit caps
+        assert 1 + res.max_port_usage <= 2 * per_batch

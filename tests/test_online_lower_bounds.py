@@ -1,0 +1,73 @@
+"""Tests for the Figure 4 adversarial constructions (Lemmas 5.1, 5.2)."""
+
+import pytest
+
+from repro.core.metrics import max_response_time
+from repro.core.schedule import validate_schedule
+from repro.mrt.exact import exact_min_max_response
+from repro.online.lower_bounds import (
+    adaptive_figure4a_ratio,
+    adaptive_figure4b_max_response,
+    figure4a_instance,
+    figure4b_instance,
+    figure4b_optimal_max_response,
+    figure4b_policy_max_response,
+)
+from repro.online.policies import make_policy
+from repro.online.simulator import simulate
+
+
+class TestFigure4a:
+    def test_instance_shape(self):
+        inst = figure4a_instance(T=5, M=20)
+        # 2 solid per round for T rounds + (M - T) dashed.
+        assert inst.num_flows == 2 * 5 + 15
+        assert inst.switch.num_inputs == 2
+        assert inst.max_release == 19
+
+    def test_m_must_exceed_t(self):
+        with pytest.raises(ValueError):
+            figure4a_instance(T=5, M=5)
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ValueError):
+            figure4a_instance(T=5, M=10, congested_output=2)
+
+    @pytest.mark.parametrize("policy", ["MaxCard", "MaxWeight", "MinRTime"])
+    def test_adaptive_ratio_grows_with_m(self, policy):
+        """Lemma 5.1: the ratio diverges as M grows (checked at two
+        scales)."""
+        _, _, small = adaptive_figure4a_ratio(make_policy(policy), T=8, M=40)
+        _, _, large = adaptive_figure4a_ratio(make_policy(policy), T=8, M=400)
+        assert large > small
+        assert large > 2.0  # already unambiguous at this scale
+
+
+class TestFigure4b:
+    def test_instance_shape(self):
+        inst = figure4b_instance()
+        assert inst.num_flows == 6
+        assert inst.switch.num_inputs == 3
+        assert inst.switch.num_outputs == 4
+
+    def test_opt_is_two(self):
+        # The paper's explicit optimal schedule achieves 2; verify with
+        # the exact solver.
+        assert exact_min_max_response(figure4b_instance()) == 2
+        assert figure4b_optimal_max_response() == 2
+
+    @pytest.mark.parametrize(
+        "policy", ["MaxCard", "MinRTime", "MaxWeight", "FIFO"]
+    )
+    def test_adaptive_adversary_forces_three(self, policy):
+        """Lemma 5.2: every deterministic policy is forced to >= 3."""
+        assert adaptive_figure4b_max_response(make_policy(policy)) >= 3
+
+    def test_fixed_instance_policies_at_least_opt(self):
+        for policy in ("MaxCard", "MinRTime", "MaxWeight"):
+            got = figure4b_policy_max_response(make_policy(policy))
+            assert got >= figure4b_optimal_max_response()
+
+    def test_simulation_valid_on_construction(self):
+        res = simulate(figure4b_instance(), make_policy("MaxCard"))
+        validate_schedule(res.schedule)

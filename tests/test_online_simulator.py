@@ -1,0 +1,89 @@
+"""Tests for the online round-based simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.flow import Flow
+from repro.core.instance import Instance
+from repro.core.schedule import ScheduleError, validate_schedule
+from repro.core.switch import Switch
+from repro.online.policies import FifoPolicy, MaxCardPolicy, OnlinePolicy
+from repro.online.simulator import simulate
+from tests.conftest import capacitated_instances, unit_instances
+
+
+class GreedyBadPolicy(OnlinePolicy):
+    """Deliberately overloads ports (for engine validation tests)."""
+
+    name = "Bad"
+
+    def select(self, t, waiting, instance):
+        return list(waiting)
+
+
+class LazyPolicy(OnlinePolicy):
+    """Never schedules anything (starvation detection test)."""
+
+    name = "Lazy"
+
+    def select(self, t, waiting, instance):
+        return []
+
+
+class DoubleDipPolicy(OnlinePolicy):
+    """Returns a duplicated fid."""
+
+    name = "Dup"
+
+    def select(self, t, waiting, instance):
+        fid = next(iter(waiting))
+        return [fid, fid]
+
+
+class TestEngine:
+    def test_empty_instance(self):
+        res = simulate(Instance.create(Switch.create(1), []), MaxCardPolicy())
+        assert res.rounds == 0
+
+    def test_flows_invisible_before_release(self):
+        inst = Instance.create(
+            Switch.create(2), [Flow(0, 0, 1, 0), Flow(1, 1, 1, 3)]
+        )
+        res = simulate(inst, MaxCardPolicy())
+        assert res.schedule.round_of(1) >= 3
+        validate_schedule(res.schedule)
+
+    def test_queue_history_tracks_backlog(self):
+        inst = Instance.create(
+            Switch.create(2), [Flow(0, 0), Flow(0, 0), Flow(0, 0)]
+        )
+        res = simulate(inst, FifoPolicy())
+        assert res.queue_history.tolist() == [3, 2, 1]
+
+    def test_overloading_policy_caught(self):
+        inst = Instance.create(Switch.create(2), [Flow(0, 0), Flow(0, 1)])
+        with pytest.raises(ScheduleError, match="overloaded"):
+            simulate(inst, GreedyBadPolicy())
+
+    def test_starving_policy_caught(self):
+        inst = Instance.create(Switch.create(2), [Flow(0, 0)])
+        with pytest.raises(RuntimeError, match="exceeded"):
+            simulate(inst, LazyPolicy(), max_rounds=5)
+
+    def test_duplicate_selection_caught(self):
+        inst = Instance.create(Switch.create(2, 2, 2), [Flow(0, 0)])
+        with pytest.raises(ScheduleError, match="twice"):
+            simulate(inst, DoubleDipPolicy())
+
+    @given(unit_instances(max_ports=4, max_flows=8))
+    @settings(max_examples=40, deadline=None)
+    def test_maxcard_always_valid(self, inst):
+        res = simulate(inst, MaxCardPolicy())
+        validate_schedule(res.schedule)
+
+    @given(capacitated_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_fifo_handles_general_capacities(self, inst):
+        res = simulate(inst, FifoPolicy())
+        validate_schedule(res.schedule)

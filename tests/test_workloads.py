@@ -1,0 +1,87 @@
+"""Tests for workload generators and trace replay."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.synthetic import (
+    hotspot_workload,
+    incast_workload,
+    permutation_workload,
+    poisson_uniform_workload,
+)
+from repro.workloads.trace import load_trace, save_trace
+
+
+class TestPoissonUniform:
+    def test_deterministic_with_seed(self):
+        a = poisson_uniform_workload(10, 5, 4, seed=1)
+        b = poisson_uniform_workload(10, 5, 4, seed=1)
+        assert a.flows == b.flows
+
+    def test_mean_arrivals_close_to_m(self):
+        inst = poisson_uniform_workload(20, 12, 200, seed=3)
+        assert inst.num_flows / 200 == pytest.approx(12, rel=0.15)
+
+    def test_releases_within_generation_window(self):
+        inst = poisson_uniform_workload(5, 3, 7, seed=0)
+        assert inst.max_release <= 6
+        assert (inst.releases() >= 0).all()
+
+    def test_ports_in_range(self):
+        inst = poisson_uniform_workload(5, 10, 3, seed=0)
+        assert inst.srcs().max() < 5
+        assert inst.dsts().max() < 5
+
+    def test_capacity_and_demand(self):
+        inst = poisson_uniform_workload(4, 2, 2, seed=0, capacity=3, demand=2)
+        assert inst.switch.input_capacity(0) == 3
+        assert (inst.demands() == 2).all()
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_uniform_workload(4, 0, 2)
+
+
+class TestOtherGenerators:
+    def test_hotspot_skews_destinations(self):
+        inst = hotspot_workload(10, 20, 40, zipf_exponent=2.0, seed=1)
+        counts = np.bincount(inst.dsts(), minlength=10)
+        # Hottest port sees far more than the uniform share.
+        assert counts.max() > 2 * inst.num_flows / 10
+
+    def test_hotspot_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            hotspot_workload(5, 5, 5, zipf_exponent=0.0)
+
+    def test_permutation_one_flow_per_input_per_round(self):
+        inst = permutation_workload(6, 4, seed=2)
+        assert inst.num_flows == 24
+        for t, group in inst.flows_by_release().items():
+            srcs = [f.src for f in group]
+            dsts = [f.dst for f in group]
+            assert sorted(srcs) == list(range(6))
+            assert sorted(dsts) == list(range(6))
+
+    def test_incast_converges_on_target(self):
+        inst = incast_workload(8, fan_in=5, num_bursts=3, gap=2, seed=0, target=4)
+        assert (inst.dsts() == 4).all()
+        assert inst.num_flows == 15
+        assert set(inst.releases().tolist()) == {0, 2, 4}
+
+    def test_incast_distinct_sources_per_burst(self):
+        inst = incast_workload(8, fan_in=8, num_bursts=1, seed=0)
+        assert sorted(f.src for f in inst.flows) == list(range(8))
+
+    def test_incast_fan_in_bounds(self):
+        with pytest.raises(ValueError):
+            incast_workload(4, fan_in=5, num_bursts=1)
+
+
+class TestTrace:
+    def test_round_trip(self, tmp_path):
+        inst = poisson_uniform_workload(6, 4, 3, seed=5)
+        path = tmp_path / "trace.json"
+        save_trace(inst, path)
+        again = load_trace(path)
+        assert again.flows == inst.flows
+        assert again.switch.num_inputs == 6

@@ -12,13 +12,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import get_solver
 from repro.coflow import make_coflow_policy, simulate_coflows
+from repro.coflow.metrics import CoflowMetrics
 from repro.coflow.model import random_shuffle_coflows
-from repro.online.policies import make_policy
 
 
 def test_coflow_policy_comparison(capsys, benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Co-flow-aware and co-flow-oblivious solvers side by side through
+    # the unified registry: coflow solvers take the CoflowInstance,
+    # online solvers its flattened flow-level instance.
     policies = ("SEBF", "CoflowFIFO", "MaxCard", "MaxWeight")
     sums = {name: 0.0 for name in policies}
     trials = 6
@@ -27,13 +31,14 @@ def test_coflow_policy_comparison(capsys, benchmark):
             10, 8, width_range=(2, 4), arrival_gap=2, seed=seed
         )
         for name in policies:
-            policy = (
-                make_coflow_policy(name, cf)
-                if name in ("SEBF", "CoflowFIFO")
-                else make_policy(name)
-            )
-            res = simulate_coflows(cf, policy)
-            sums[name] += res.coflow_metrics.average_response
+            solver = get_solver(name)
+            report = solver.solve(cf if solver.kind == "coflow" else cf.instance)
+            if solver.kind == "coflow":
+                sums[name] += report.extras["coflow_metrics"]["average_response"]
+            else:
+                sums[name] += CoflowMetrics.of(
+                    cf, report.schedule
+                ).average_response
     means = {name: total / trials for name, total in sums.items()}
     with capsys.disabled():
         print("\nCo-flow average response (mean over shuffle workloads)")

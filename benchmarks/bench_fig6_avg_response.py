@@ -12,10 +12,9 @@ Run:  pytest benchmarks/bench_fig6_avg_response.py --benchmark-only -s
 from __future__ import annotations
 
 from benchmarks.conftest import bench_config
+from repro.api import get_solver
 from repro.art.lp_relaxation import art_lp_lower_bound
 from repro.experiments.fig6 import render_fig6
-from repro.online.policies import make_policy
-from repro.online.simulator import simulate
 from repro.workloads.synthetic import poisson_uniform_workload
 
 
@@ -47,7 +46,7 @@ def test_bench_simulate_maxweight(benchmark):
     inst = poisson_uniform_workload(
         config.num_ports, config.num_ports, 10, seed=1
     )
-    benchmark(lambda: simulate(inst, make_policy("MaxWeight")))
+    benchmark(lambda: get_solver("MaxWeight").solve(inst))
 
 
 def test_bench_simulate_maxcard(benchmark):
@@ -55,7 +54,7 @@ def test_bench_simulate_maxcard(benchmark):
     inst = poisson_uniform_workload(
         config.num_ports, config.num_ports, 10, seed=1
     )
-    benchmark(lambda: simulate(inst, make_policy("MaxCard")))
+    benchmark(lambda: get_solver("MaxCard").solve(inst))
 
 
 def test_bench_lp_avg_lower_bound(benchmark):

@@ -9,10 +9,9 @@ Run:  pytest benchmarks/bench_fig7_max_response.py --benchmark-only -s
 from __future__ import annotations
 
 from benchmarks.conftest import bench_config
+from repro.api import get_solver
 from repro.experiments.fig7 import render_fig7
 from repro.mrt.algorithm import fractional_mrt_lower_bound
-from repro.online.policies import make_policy
-from repro.online.simulator import simulate
 from repro.workloads.synthetic import poisson_uniform_workload
 
 
@@ -61,7 +60,7 @@ def test_bench_simulate_minrtime(benchmark):
     inst = poisson_uniform_workload(
         config.num_ports, config.num_ports, 10, seed=1
     )
-    benchmark(lambda: simulate(inst, make_policy("MinRTime")))
+    benchmark(lambda: get_solver("MinRTime").solve(inst))
 
 
 def test_bench_lp_max_lower_bound(benchmark):

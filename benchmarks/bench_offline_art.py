@@ -88,9 +88,12 @@ def test_bench_art_lower_bound(benchmark):
 
 
 def test_bench_solve_art_end_to_end(benchmark):
+    from repro.api import get_solver
+
     inst = _instance()
+    solver = get_solver("FS-ART")
     benchmark.pedantic(
-        lambda: solve_art(inst, c=1, compute_lower_bound=False),
+        lambda: solver.solve(inst, c=1, compute_lower_bound=False),
         rounds=3,
         iterations=1,
     )

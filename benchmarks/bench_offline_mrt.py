@@ -70,5 +70,8 @@ def test_rho_matches_load_intuition(capsys, benchmark):
 
 @pytest.mark.parametrize("n", [12, 24, 48])
 def test_bench_solve_mrt_scaling(benchmark, n):
+    from repro.api import get_solver
+
     inst = poisson_uniform_workload(6, 6, max(2, n // 6), seed=n)
-    benchmark.pedantic(lambda: solve_mrt(inst), rounds=2, iterations=1)
+    solver = get_solver("FS-MRT")
+    benchmark.pedantic(lambda: solver.solve(inst), rounds=2, iterations=1)

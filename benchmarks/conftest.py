@@ -33,7 +33,14 @@ def bench_config(**overrides) -> ExperimentConfig:
 @pytest.fixture(scope="session")
 def shared_sweep():
     """One sweep shared by the fig6/fig7 benches (the paper measures both
-    objectives on the same simulation runs)."""
-    from repro.experiments.harness import run_sweep
+    objectives on the same simulation runs).
 
-    return run_sweep(bench_config())
+    Runs through the :class:`repro.api.Runner` facade; set
+    ``REPRO_BENCH_JOBS=N`` to parallelize the trials (results are
+    byte-identical to the serial run).
+    """
+    from repro.api import Runner
+
+    raw = os.environ.get("REPRO_BENCH_JOBS", "").strip()
+    jobs = int(raw) if raw.isdigit() and int(raw) >= 1 else None
+    return Runner(bench_config(), jobs=jobs).run()

@@ -1,24 +1,21 @@
 #!/usr/bin/env python
-"""Quickstart: schedule flows on a switch, offline and online.
+"""Quickstart: schedule flows on a switch through the unified solver API.
 
-Builds a small switch instance by hand, then:
+Builds a small switch instance by hand, then drives everything through
+``repro.api`` — one protocol for all algorithms:
 
 1. runs the three online heuristics from the paper (§5.2.1);
 2. solves FS-MRT optimally with the Theorem 3 offline algorithm;
 3. solves FS-ART with the Theorem 1 pipeline and reports the LP bound.
 
+Every solver returns the same :class:`repro.SolveReport` shape, so the
+loop below works unchanged for any name in ``list_solvers()``.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    Flow,
-    Instance,
-    Switch,
-    make_policy,
-    simulate,
-    solve_art,
-    solve_mrt,
-)
+from repro import Flow, Instance, Switch, get_solver, list_solvers
+
 
 def main() -> None:
     # A 4x4 unit-capacity switch (a tiny crossbar).
@@ -33,34 +30,35 @@ def main() -> None:
         Flow(1, 3, 1, 2), Flow(3, 0, 1, 2),
     ]
     instance = Instance.create(switch, flows)
-    print(f"Instance: {instance}\n")
+    print(f"Instance: {instance}")
+    print(f"Registered solvers: {', '.join(list_solvers())}\n")
 
     # --- Online heuristics (paper §5.2.1) -----------------------------
     print("Online heuristics:")
     for name in ("MaxCard", "MinRTime", "MaxWeight"):
-        result = simulate(instance, make_policy(name))
-        m = result.metrics
+        report = get_solver(name).solve(instance)
+        m = report.metrics
         print(
             f"  {name:9s} avg response = {m.average_response:.2f}   "
             f"max response = {m.max_response}"
         )
 
     # --- Offline FS-MRT (Theorem 3) ------------------------------------
-    mrt = solve_mrt(instance)
+    mrt = get_solver("FS-MRT").solve(instance)
     print(
-        f"\nOffline FS-MRT: optimal (fractional) rho* = {mrt.rho}, "
-        f"schedule max response = "
-        f"{max(mrt.schedule.completion_times() - instance.releases())}, "
-        f"extra capacity used = {mrt.max_violation} "
+        f"\nOffline FS-MRT: optimal (fractional) rho* = {mrt.extras['rho']}, "
+        f"schedule max response = {mrt.metrics.max_response}, "
+        f"extra capacity used = {mrt.extras['max_violation']} "
         f"(Theorem 3 allows <= {2 * instance.max_demand - 1})"
     )
 
     # --- Offline FS-ART (Theorem 1) ------------------------------------
-    art = solve_art(instance, c=1)
+    art = get_solver("FS-ART").solve(instance, c=1)
     print(
-        f"\nOffline FS-ART (c=1): total response = {art.total_response}, "
-        f"LP lower bound = {art.lower_bound:.2f}, "
-        f"capacity blowup = {art.conversion.capacity_factor}x "
+        f"\nOffline FS-ART (c=1): "
+        f"total response = {art.metrics.total_response}, "
+        f"LP lower bound = {art.lower_bounds['lp_total_response']:.2f}, "
+        f"capacity blowup = {art.extras['capacity_factor']}x "
         f"(Theorem 1 targets 1+c = 2x)"
     )
 

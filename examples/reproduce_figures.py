@@ -32,6 +32,14 @@ def main() -> None:
                         help="smoke-scale configuration (seconds)")
     parser.add_argument("--no-lp", action="store_true",
                         help="skip the LP lower bounds")
+    def positive_int(value):
+        n = int(value)
+        if n < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+        return n
+
+    parser.add_argument("--jobs", type=positive_int, default=None,
+                        help="parallel worker processes for the sweep")
     args = parser.parse_args()
 
     if args.paper_scale:
@@ -47,7 +55,8 @@ def main() -> None:
         f"LP for T<={config.lp_round_limit}\n"
     )
     start = time.time()
-    sweep = run_sweep(config, compute_lp_bounds=not args.no_lp, verbose=True)
+    sweep = run_sweep(config, compute_lp_bounds=not args.no_lp, verbose=True,
+                      jobs=args.jobs)
     print(f"\nsweep finished in {time.time() - start:.1f}s\n")
     print(render_fig6(sweep))
     print()

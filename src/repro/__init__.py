@@ -10,13 +10,21 @@ full Figure 6/7 experiment harness — plus every substrate they need
 (LP solving, bipartite matching/edge-coloring, a switch simulator, and
 workload generators).
 
+Every algorithm is also reachable through the unified solver API
+(:mod:`repro.api`): ``get_solver(name).solve(instance)`` returns a
+common :class:`~repro.api.report.SolveReport`, and
+:class:`~repro.api.runner.Runner` executes sweeps serially or across
+processes with byte-identical results.
+
 Quick start
 -----------
->>> from repro import poisson_uniform_workload, simulate, make_policy
+>>> from repro import Runner, get_solver, poisson_uniform_workload
 >>> inst = poisson_uniform_workload(num_ports=16, mean_arrivals=8,
 ...                                 num_rounds=10, seed=0)
->>> result = simulate(inst, make_policy("MaxWeight"))
->>> result.metrics.average_response  # doctest: +SKIP
+>>> report = get_solver("MaxWeight").solve(inst)
+>>> report.kind
+'online'
+>>> report.metrics.average_response  # doctest: +SKIP
 """
 
 from repro.core import (
@@ -53,8 +61,16 @@ from repro.workloads import (
     permutation_workload,
     poisson_uniform_workload,
 )
+from repro.api import (
+    Runner,
+    SolveReport,
+    Solver,
+    get_solver,
+    list_solvers,
+    register_solver,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Flow",
@@ -84,5 +100,11 @@ __all__ = [
     "hotspot_workload",
     "permutation_workload",
     "incast_workload",
+    "Solver",
+    "SolveReport",
+    "register_solver",
+    "get_solver",
+    "list_solvers",
+    "Runner",
     "__version__",
 ]

@@ -2,14 +2,17 @@
 
 Commands
 --------
+``solve TRACE --solver NAME``
+    Run any registered solver on a JSON trace (see
+    ``repro.workloads.trace``); ``-p key=value`` forwards parameters.
+``list-solvers``
+    Enumerate the plugin registry (offline / online / coflow).
 ``fig6`` / ``fig7``
-    Regenerate the paper's figure series (``--quick`` / ``--paper-scale``).
-``solve-mrt TRACE``
-    Run the Theorem 3 solver on a JSON trace (see ``repro.workloads.trace``).
-``solve-art TRACE``
-    Run the Theorem 1 solver on a JSON trace (unit demands).
-``simulate TRACE --policy NAME``
-    Run one online heuristic on a trace.
+    Regenerate the paper's figure series (``--quick`` /
+    ``--paper-scale``; ``--jobs N`` parallelizes the sweep trials).
+``solve-mrt TRACE`` / ``solve-art TRACE`` / ``simulate TRACE``
+    Back-compat aliases for ``solve`` with the FS-MRT / FS-ART / online
+    policy solvers.
 ``generate OUT``
     Write a Poisson/uniform trace (the paper's workload) to a file.
 ``probe-open-problem``
@@ -19,9 +22,30 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.core.metrics import ScheduleMetrics
+
+def _positive_int(value: str) -> int:
+    """argparse type for flags that must be >= 1 (e.g. ``--jobs``)."""
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return n
+
+
+def _parse_params(pairs) -> dict:
+    """Parse ``-p key=value`` pairs; values go through JSON when possible."""
+    params = {}
+    for pair in pairs or ():
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"bad -p {pair!r}: expected key=value")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
 
 
 def _cmd_figures(args, which: str) -> int:
@@ -40,55 +64,123 @@ def _cmd_figures(args, which: str) -> int:
         config = smoke_config()
     else:
         config = default_config()
-    sweep = run_sweep(config, compute_lp_bounds=not args.no_lp, verbose=True)
+    sweep = run_sweep(
+        config,
+        compute_lp_bounds=not args.no_lp,
+        verbose=True,
+        jobs=args.jobs,
+    )
     print()
     print(render_fig6(sweep) if which == "fig6" else render_fig7(sweep))
     return 0
 
 
-def _cmd_solve_mrt(args) -> int:
-    from repro.mrt.algorithm import solve_mrt
+def _run_on_trace(trace_path, solver_name: str, kind=None, params=None):
+    """Load a trace, run a registered solver on it, print the instance.
+
+    ``params`` is an explicit dict (not ``**kwargs``) so user-supplied
+    ``-p`` names can never collide with this function's own arguments —
+    every pair is forwarded to ``solve()`` verbatim.
+
+    Predictable user errors — a missing or garbled trace file, an
+    unknown solver name, a solver of the wrong ``kind`` — exit cleanly
+    with an ``error:`` message instead of a traceback (shared by
+    ``solve`` and its aliases).  Errors raised by ``solve()`` itself
+    propagate from here; the aliases let them traceback, while
+    ``_cmd_solve`` additionally converts ValueError/TypeError (see
+    its comment for the tradeoff).
+    """
+    from repro.api import get_solver, list_solvers
     from repro.workloads.trace import load_trace
 
-    inst = load_trace(args.trace)
-    res = solve_mrt(inst)
-    print(f"instance: {inst}")
-    print(f"optimal (fractional) max response rho* = {res.rho}")
-    print(f"schedule extra capacity used = {res.max_violation} "
-          f"(Theorem 3 bound {2 * inst.max_demand - 1})")
-    print(f"LP solves = {res.lp_solves}")
+    try:
+        inst = load_trace(trace_path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    try:
+        solver = get_solver(solver_name)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    if kind is not None and solver.kind != kind:
+        raise SystemExit(
+            f"error: {solver_name!r} has kind {solver.kind!r}, expected "
+            f"{kind!r}; available: {list_solvers(kind)}"
+        )
+    print(f"instance: {inst}")  # echo before the (possibly slow) solve
+    return solver.solve(inst, **(params or {}))
+
+
+def _cmd_solve(args) -> int:
+    try:
+        report = _run_on_trace(
+            args.trace, args.solver, params=_parse_params(args.param)
+        )
+    except (ValueError, TypeError) as exc:
+        # Free-form -p input makes bad parameter names/values and
+        # wrong-instance-kind mistakes the overwhelmingly common case
+        # for this command, so ValueError/TypeError from the dispatch
+        # exit cleanly — accepting that a solver-internal bug of those
+        # types loses its traceback here (the aliases preserve it).
+        # SystemExit from _run_on_trace passes straight through.
+        raise SystemExit(f"error: {exc}")
+    print(f"solver {report.solver} ({report.kind}): ", end="")
+    print(report.metrics if report.metrics is not None else "infeasible")
+    for name, value in sorted(report.lower_bounds.items()):
+        print(f"  lower bound {name} = {value:g}")
+    for name, value in sorted(report.extras.items()):
+        print(f"  {name} = {value}")
+    if report.schedule is None:  # infeasible: exit 1 with or without --out
+        if args.out:
+            print("no schedule to write (infeasible)")
+        return 1
     if args.out:
-        _write_assignment(res.schedule, args.out)
+        _write_assignment(report.schedule, args.out)
+    return 0
+
+
+def _cmd_list_solvers(args) -> int:
+    from repro.api import SOLVER_KINDS, get_solver, list_solvers
+
+    for kind in SOLVER_KINDS:
+        names = list_solvers(kind)
+        if not names:
+            continue
+        print(f"{kind}:")
+        for name in names:
+            summary = getattr(get_solver(name), "summary", "")
+            print(f"  {name:<16s} {summary}")
+    return 0
+
+
+def _cmd_solve_mrt(args) -> int:
+    report = _run_on_trace(args.trace, "FS-MRT")
+    max_demand = report.schedule.instance.max_demand
+    print(f"optimal (fractional) max response rho* = {report.extras['rho']}")
+    print(f"schedule extra capacity used = {report.extras['max_violation']} "
+          f"(Theorem 3 bound {2 * max_demand - 1})")
+    print(f"LP solves = {report.extras['lp_solves']}")
+    if args.out:
+        _write_assignment(report.schedule, args.out)
     return 0
 
 
 def _cmd_solve_art(args) -> int:
-    from repro.art.algorithm import solve_art
-    from repro.workloads.trace import load_trace
-
-    inst = load_trace(args.trace)
-    res = solve_art(inst, c=args.c)
-    print(f"instance: {inst}")
-    print(f"total response = {res.total_response} "
-          f"(LP lower bound {res.lower_bound:.2f})")
-    print(f"capacity blowup = {res.conversion.capacity_factor}x "
-          f"(target 1+c = {1 + args.c}x), window h = {res.conversion.window}")
+    report = _run_on_trace(args.trace, "FS-ART", params={"c": args.c})
+    print(f"total response = {report.metrics.total_response} "
+          f"(LP lower bound {report.lower_bounds['lp_total_response']:.2f})")
+    print(f"capacity blowup = {report.extras['capacity_factor']}x "
+          f"(target 1+c = {1 + args.c}x), "
+          f"window h = {report.extras['window']}")
     if args.out:
-        _write_assignment(res.schedule, args.out)
+        _write_assignment(report.schedule, args.out)
     return 0
 
 
 def _cmd_simulate(args) -> int:
-    from repro.online.policies import make_policy
-    from repro.online.simulator import simulate
-    from repro.workloads.trace import load_trace
-
-    inst = load_trace(args.trace)
-    result = simulate(inst, make_policy(args.policy))
-    print(f"instance: {inst}")
-    print(f"policy {args.policy}: {result.metrics}")
+    report = _run_on_trace(args.trace, args.policy, kind="online")
+    print(f"policy {args.policy}: {report.metrics}")
     if args.out:
-        _write_assignment(result.schedule, args.out)
+        _write_assignment(report.schedule, args.out)
     return 0
 
 
@@ -121,11 +213,11 @@ def _cmd_probe(args) -> int:
 
 
 def _write_assignment(schedule, path: str) -> None:
-    import json
+    from repro.core.metrics import ScheduleMetrics
 
     data = {
         "assignment": schedule.assignment.tolist(),
-        "metrics": ScheduleMetrics.of(schedule).__dict__,
+        "metrics": ScheduleMetrics.of(schedule).to_dict(),
     }
     with open(path, "w") as fh:
         json.dump(data, fh, indent=1)
@@ -140,22 +232,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    p = sub.add_parser("solve", help="run any registered solver on a trace")
+    p.add_argument("trace")
+    p.add_argument("--solver", default="MaxWeight",
+                   help="registry name (see list-solvers)")
+    p.add_argument("-p", "--param", action="append", metavar="KEY=VALUE",
+                   help="solver parameter (repeatable; value parsed as JSON)")
+    p.add_argument("--out", default=None)
+
+    sub.add_parser("list-solvers", help="enumerate the solver registry")
+
     for fig in ("fig6", "fig7"):
         p = sub.add_parser(fig, help=f"regenerate {fig} series")
         p.add_argument("--quick", action="store_true")
         p.add_argument("--paper-scale", action="store_true")
         p.add_argument("--no-lp", action="store_true")
+        p.add_argument("--jobs", type=_positive_int, default=None,
+                       help="parallel worker processes for the sweep")
 
-    p = sub.add_parser("solve-mrt", help="offline Theorem 3 solver")
+    p = sub.add_parser("solve-mrt",
+                       help="offline Theorem 3 solver (alias of solve)")
     p.add_argument("trace")
     p.add_argument("--out", default=None)
 
-    p = sub.add_parser("solve-art", help="offline Theorem 1 solver")
+    p = sub.add_parser("solve-art",
+                       help="offline Theorem 1 solver (alias of solve)")
     p.add_argument("trace")
     p.add_argument("-c", type=int, default=1, help="capacity augmentation")
     p.add_argument("--out", default=None)
 
-    p = sub.add_parser("simulate", help="run an online heuristic")
+    p = sub.add_parser("simulate",
+                       help="run an online heuristic (alias of solve)")
     p.add_argument("trace")
     p.add_argument("--policy", default="MaxWeight")
     p.add_argument("--out", default=None)
@@ -178,22 +285,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+_COMMANDS = {
+    "solve": _cmd_solve,
+    "list-solvers": _cmd_list_solvers,
+    "solve-mrt": _cmd_solve_mrt,
+    "solve-art": _cmd_solve_art,
+    "simulate": _cmd_simulate,
+    "generate": _cmd_generate,
+    "probe-open-problem": _cmd_probe,
+}
+
+
 def main(argv=None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
     if args.command in ("fig6", "fig7"):
         return _cmd_figures(args, args.command)
-    if args.command == "solve-mrt":
-        return _cmd_solve_mrt(args)
-    if args.command == "solve-art":
-        return _cmd_solve_art(args)
-    if args.command == "simulate":
-        return _cmd_simulate(args)
-    if args.command == "generate":
-        return _cmd_generate(args)
-    if args.command == "probe-open-problem":
-        return _cmd_probe(args)
-    raise AssertionError(f"unhandled command {args.command}")
+    handler = _COMMANDS.get(args.command)
+    if handler is None:
+        raise AssertionError(f"unhandled command {args.command}")
+    return handler(args)
 
 
 if __name__ == "__main__":

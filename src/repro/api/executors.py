@@ -1,0 +1,148 @@
+"""Pluggable work-item executors for the :class:`~repro.api.runner.Runner`.
+
+Executors provide one operation — ``map(fn, items)`` — with the contract
+that the returned list is **ordered like the input** and every element
+is ``fn(item)``.  Because the Runner derives a seed per item, results
+are byte-identical regardless of backend; the executor only changes
+wall-clock time.
+
+``SerialExecutor`` runs in-process (zero overhead, easiest debugging);
+``MultiprocessingExecutor`` fans items out over a process pool in
+chunks — the first real speed lever for the Figure 6/7 sweeps, which
+are embarrassingly parallel over (cell, trial) work items.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+)
+
+
+class Executor(Protocol):
+    """Order-preserving ``map``/``imap`` over work items."""
+
+    name: str
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Iterable[Any]
+    ) -> List[Any]:
+        """Apply ``fn`` to every item, returning results in input order."""
+        ...
+
+    def imap(
+        self, fn: Callable[[Any], Any], items: Iterable[Any]
+    ) -> Iterator[Any]:
+        """Like ``map`` but yields results as they become available
+        (still in input order), so callers can stream progress."""
+        ...
+
+
+class SerialExecutor:
+    """In-process, single-threaded execution (the default)."""
+
+    name = "serial"
+
+    def map(self, fn, items):
+        return [fn(item) for item in items]
+
+    def imap(self, fn, items):
+        for item in items:
+            yield fn(item)
+
+
+class MultiprocessingExecutor:
+    """Chunked process-pool execution.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count (default: all CPUs).
+    chunk_size:
+        Items per task handed to a worker; default splits the item list
+        into ~4 chunks per worker, amortizing IPC without starving the
+        pool on skewed item costs.
+    """
+
+    name = "multiprocessing"
+
+    def __init__(
+        self, jobs: Optional[int] = None, chunk_size: Optional[int] = None
+    ):
+        self.jobs = (os.cpu_count() or 1) if jobs is None else int(jobs)
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.chunk_size = chunk_size
+
+    def _plan(self, items):
+        """Materialize ``items`` and pick worker/chunk counts (shared by
+        ``map`` and ``imap`` so the two can never diverge)."""
+        items = list(items)
+        workers = min(self.jobs, len(items))
+        if workers <= 1:
+            return items, workers, 1
+        chunk = self.chunk_size or max(
+            1, math.ceil(len(items) / (workers * 4))
+        )
+        return items, workers, chunk
+
+    def map(self, fn, items):
+        items, workers, chunk = self._plan(items)
+        if workers <= 1:
+            return [fn(item) for item in items]
+        with multiprocessing.Pool(processes=workers) as pool:
+            return pool.map(fn, items, chunksize=chunk)
+
+    def imap(self, fn, items):
+        items, workers, chunk = self._plan(items)
+        if workers <= 1:
+            for item in items:
+                yield fn(item)
+            return
+        with multiprocessing.Pool(processes=workers) as pool:
+            yield from pool.imap(fn, items, chunksize=chunk)
+
+
+#: Registry of executor names accepted by :func:`make_executor`.
+EXECUTOR_NAMES = ("serial", "multiprocessing")
+
+
+def make_executor(
+    spec: "str | Executor" = "serial",
+    jobs: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> Executor:
+    """Coerce ``spec`` (a name or an executor instance) into an executor.
+
+    ``jobs > 1`` with the default spec upgrades ``"serial"`` to a
+    multiprocessing pool, so callers can simply plumb a ``--jobs`` flag.
+    An executor *instance* is returned as-is and must not be combined
+    with ``jobs``/``chunk_size`` — configure the instance instead.
+    """
+    if not isinstance(spec, str):
+        if jobs is not None or chunk_size is not None:
+            raise ValueError(
+                "jobs/chunk_size apply only to executor names; configure "
+                f"the {type(spec).__name__} instance directly"
+            )
+        return spec
+    if spec == "serial":
+        if jobs is not None and int(jobs) < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if jobs is not None and int(jobs) > 1:
+            return MultiprocessingExecutor(jobs, chunk_size)
+        return SerialExecutor()
+    if spec in ("multiprocessing", "mp", "process"):
+        return MultiprocessingExecutor(jobs, chunk_size)
+    raise ValueError(
+        f"unknown executor {spec!r}; available: {EXECUTOR_NAMES}"
+    )

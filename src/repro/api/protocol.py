@@ -1,0 +1,32 @@
+"""The :class:`Solver` protocol: one interface for every algorithm.
+
+A solver is anything with a ``name``, a ``kind`` (one of
+:data:`SOLVER_KINDS`), and a ``solve(instance, **params)`` method that
+returns a :class:`~repro.api.report.SolveReport`.  The built-in adapters
+in :mod:`repro.api.adapters` wrap the library's algorithms behind this
+protocol; third parties can register their own implementations with
+:func:`repro.api.registry.register_solver`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+from repro.api.report import SolveReport
+
+#: The recognized solver families.
+SOLVER_KINDS = ("offline", "online", "coflow")
+
+
+@runtime_checkable
+class Solver(Protocol):
+    """Structural interface implemented by every registered solver."""
+
+    #: Registry name (also the CLI ``--solver`` argument).
+    name: str
+    #: One of :data:`SOLVER_KINDS`.
+    kind: str
+
+    def solve(self, instance: Any, **params: Any) -> SolveReport:
+        """Solve ``instance`` and return a uniform report."""
+        ...

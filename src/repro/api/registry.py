@@ -1,0 +1,111 @@
+"""Decorator-based plugin registry for solvers.
+
+Usage::
+
+    from repro.api import register_solver, get_solver, list_solvers
+
+    @register_solver("MySolver")
+    class MySolver:
+        name = "MySolver"
+        kind = "offline"
+        def solve(self, instance, **params): ...
+
+    report = get_solver("MySolver").solve(instance)
+
+The registry maps a name to a zero-argument *factory* (usually the class
+itself); :func:`get_solver` instantiates a fresh solver per call, so
+solvers may keep per-solve state without leaking it between callers.
+The built-in adapters (:mod:`repro.api.adapters`) are registered eagerly
+when :mod:`repro.api` is imported — importing this module imports the
+package first, so every registry access (including a plugin's
+``register_solver`` call) sees the builtins already present.  Eager
+loading deliberately leans on Python's import machinery for thread
+safety; a lazy scheme needs its own lock, which inverts order with the
+per-module import lock and can deadlock.
+
+The registry is per-process.  Multiprocessing executors that *fork*
+(the Linux default) inherit the parent's registrations; under the
+*spawn* start method (macOS/Windows default) workers re-import the code
+fresh, so third-party solvers used with a parallel
+:class:`~repro.api.runner.Runner` must be registered at import time of
+a module the workers also import — not interactively in ``__main__``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.api.protocol import SOLVER_KINDS, Solver
+
+#: name -> zero-argument factory returning a Solver.
+_REGISTRY: Dict[str, Callable[[], Solver]] = {}
+
+
+def register_solver(
+    name: str, factory: Optional[Callable[[], Solver]] = None
+):
+    """Register a solver factory under ``name``.
+
+    Works as a decorator (``@register_solver("FS-ART")`` on a class with
+    a zero-argument constructor) or as a direct call
+    (``register_solver("FS-ART", factory)``).  Duplicate names raise
+    ``ValueError`` — plugins must pick fresh names or call
+    :func:`unregister_solver` first.
+    """
+
+    def _register(obj: Callable[[], Solver]):
+        if not callable(obj):
+            raise TypeError(f"solver factory for {name!r} must be callable")
+        if name in _REGISTRY:
+            raise ValueError(f"solver {name!r} is already registered")
+        _REGISTRY[name] = obj
+        return obj
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def unregister_solver(name: str) -> None:
+    """Remove ``name`` from the registry (no-op if absent)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_solver(name: str) -> Solver:
+    """Instantiate the solver registered under ``name``.
+
+    Raises ``ValueError`` (with the list of known names) when ``name``
+    is not registered.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown solver {name!r}; available: {list_solvers()}"
+        ) from None
+    return factory()
+
+
+def _kind_of(factory: Callable[[], Solver]) -> str:
+    """The kind a factory produces, avoiding instantiation when possible.
+
+    Classes (and ``functools.partial`` over classes) expose ``kind`` as a
+    class attribute; only opaque factories pay the construction cost.
+    """
+    kind = getattr(factory, "kind", None)
+    if not isinstance(kind, str):
+        kind = getattr(getattr(factory, "func", None), "kind", None)
+    if not isinstance(kind, str):
+        kind = factory().kind
+    return kind
+
+
+def list_solvers(kind: Optional[str] = None) -> List[str]:
+    """Sorted names of all registered solvers (optionally one ``kind``)."""
+    if kind is None:
+        return sorted(_REGISTRY)
+    if kind not in SOLVER_KINDS:
+        raise ValueError(f"unknown kind {kind!r}; expected {SOLVER_KINDS}")
+    return sorted(
+        name for name in _REGISTRY if _kind_of(_REGISTRY[name]) == kind
+    )

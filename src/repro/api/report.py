@@ -1,0 +1,114 @@
+"""The common result type of every solver: :class:`SolveReport`.
+
+Every algorithm in the library — offline approximation pipelines, online
+heuristics, co-flow disciplines — historically returned its own result
+shape (``ARTResult``, ``MRTResult``, ``SimulationResult``, ...).  The
+unified API keeps those rich results available through the underlying
+functions but reports through one schema, so harnesses, CLIs, and
+benchmarks can treat solvers interchangeably.
+
+A report is JSON round-trippable: :meth:`SolveReport.to_dict` embeds the
+instance alongside the assignment so :meth:`SolveReport.from_dict` can
+rebuild the :class:`~repro.core.schedule.Schedule` without any side
+channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.core.metrics import ScheduleMetrics
+from repro.core.schedule import Schedule
+
+
+@dataclass
+class SolveReport:
+    """Uniform outcome of ``Solver.solve``.
+
+    Attributes
+    ----------
+    solver:
+        Registry name of the solver that produced the report.
+    kind:
+        Solver family: ``"offline"``, ``"online"``, or ``"coflow"``.
+    metrics:
+        Response-time summary of the schedule (``None`` only when the
+        solver proved the instance infeasible and produced no schedule).
+    schedule:
+        The schedule itself (``None`` on infeasibility).
+    lower_bounds:
+        Named certified lower bounds, e.g. ``{"lp_total_response": 41.5}``
+        for FS-ART or ``{"rho_star": 3.0}`` for FS-MRT.  Empty when the
+        solver computes none.
+    timings:
+        Named wall-clock phase timings in seconds.
+    params:
+        The solve parameters actually used (JSON-serializable values).
+    extras:
+        Solver-specific diagnostics (JSON-serializable values): LP solve
+        counts, conversion windows, co-flow metrics, ...
+    """
+
+    solver: str
+    kind: str
+    metrics: Optional[ScheduleMetrics]
+    schedule: Optional[Schedule] = field(default=None, repr=False)
+    lower_bounds: Dict[str, float] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+    params: Dict[str, Any] = field(default_factory=dict)
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the solver produced a schedule."""
+        return self.schedule is not None
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (inverse of :meth:`from_dict`)."""
+        return {
+            "solver": self.solver,
+            "kind": self.kind,
+            "metrics": self.metrics.to_dict() if self.metrics else None,
+            "schedule": (
+                {
+                    "instance": self.schedule.instance.to_dict(),
+                    "assignment": self.schedule.assignment.tolist(),
+                }
+                if self.schedule is not None
+                else None
+            ),
+            "lower_bounds": dict(self.lower_bounds),
+            "timings": dict(self.timings),
+            "params": dict(self.params),
+            "extras": dict(self.extras),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "SolveReport":
+        """Rebuild a report (and its schedule) from :meth:`to_dict` output."""
+        schedule = None
+        if data.get("schedule") is not None:
+            instance = Instance.from_dict(data["schedule"]["instance"])
+            schedule = Schedule(
+                instance,
+                np.asarray(data["schedule"]["assignment"], dtype=np.int64),
+            )
+        metrics = (
+            ScheduleMetrics.from_dict(data["metrics"])
+            if data.get("metrics") is not None
+            else None
+        )
+        return SolveReport(
+            solver=data["solver"],
+            kind=data["kind"],
+            metrics=metrics,
+            schedule=schedule,
+            lower_bounds=dict(data.get("lower_bounds", {})),
+            timings=dict(data.get("timings", {})),
+            params=dict(data.get("params", {})),
+            extras=dict(data.get("extras", {})),
+        )

@@ -1,0 +1,298 @@
+"""The :class:`Runner` facade: sweeps as (cell × trial × solver) items.
+
+Replaces the nested loops of the legacy ``run_sweep``: a sweep is
+flattened into independent :class:`WorkItem`\\ s (one per generated
+instance), each executed by :func:`run_trial` — a pure function of the
+item, so any order-preserving executor yields byte-identical results —
+and re-aggregated into the same :class:`~repro.experiments.harness.
+CellResult` / :class:`~repro.experiments.harness.SweepResult` shapes the
+figure renderers consume.
+
+Because solvers are resolved through the plugin registry, the same
+sweep machinery runs online heuristics, offline pipelines, or any
+third-party solver registered under :func:`repro.api.registry.
+register_solver` — the registry name is the series label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.executors import Executor, make_executor
+from repro.api.registry import get_solver
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import CellResult, SweepResult, format_cell_line
+from repro.utils.rng import derive_seed
+from repro.utils.timing import Timer
+from repro.workloads.synthetic import poisson_uniform_workload
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One (cell, trial) unit of sweep work — picklable and self-contained."""
+
+    arrival_mean: float
+    rounds: int
+    trial: int
+    config: ExperimentConfig
+    solvers: Tuple[str, ...]
+    want_lp: bool
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome of one :class:`WorkItem` (inputs echoed for aggregation)."""
+
+    arrival_mean: float
+    rounds: int
+    trial: int
+    num_flows: int
+    avg_response: Dict[str, float]
+    max_response: Dict[str, float]
+    lp_avg: Optional[float]
+    lp_max: Optional[float]
+    timings: Dict[str, float]
+    timing_counts: Dict[str, int]
+
+
+def run_trial(item: WorkItem) -> TrialResult:
+    """Execute one work item: generate, solve with every solver, bound.
+
+    Deterministic: the instance seed derives from (config seed, M, T,
+    trial) exactly as the legacy harness did, so sweeps reproduce the
+    seed repo's numbers and are identical across executors.
+    """
+    config = item.config
+    timer = Timer()
+    seed = derive_seed(
+        config.seed, int(round(item.arrival_mean * 1000)), item.rounds,
+        item.trial,
+    )
+    with timer.measure("generate"):
+        instance = poisson_uniform_workload(
+            config.num_ports, item.arrival_mean, item.rounds, seed=seed
+        )
+    avg: Dict[str, float] = {}
+    mx: Dict[str, float] = {}
+    lp_avg = lp_max = None
+    if instance.num_flows > 0:
+        for name in item.solvers:
+            solver = get_solver(name)
+            with timer.measure(f"simulate:{name}"):
+                report = solver.solve(instance)
+            if report.metrics is None:
+                raise ValueError(
+                    f"solver {name!r} returned an infeasible report "
+                    f"(metrics=None) for sweep cell M={item.arrival_mean} "
+                    f"T={item.rounds} trial={item.trial}; sweeps require "
+                    "solvers that always produce a schedule"
+                )
+            avg[name] = report.metrics.average_response
+            mx[name] = float(report.metrics.max_response)
+        if item.want_lp:
+            from repro.art.lp_relaxation import art_lp_lower_bound
+            from repro.mrt.algorithm import fractional_mrt_lower_bound
+
+            horizon = instance.compact_horizon_bound()
+            with timer.measure("lp_avg_bound"):
+                lp_avg = (
+                    art_lp_lower_bound(instance, horizon=horizon)
+                    / instance.num_flows
+                )
+            with timer.measure("lp_max_bound"):
+                lp_max = float(fractional_mrt_lower_bound(instance))
+    return TrialResult(
+        arrival_mean=item.arrival_mean,
+        rounds=item.rounds,
+        trial=item.trial,
+        num_flows=instance.num_flows,
+        avg_response=avg,
+        max_response=mx,
+        lp_avg=lp_avg,
+        lp_max=lp_max,
+        timings=dict(timer.totals),
+        timing_counts=dict(timer.counts),
+    )
+
+
+def aggregate_cell(
+    arrival_mean: float,
+    rounds: int,
+    trials: int,
+    solvers: Sequence[str],
+    results: Sequence[TrialResult],
+) -> CellResult:
+    """Fold per-trial results into one :class:`CellResult`.
+
+    Trials are folded in trial order and zero-flow instances skipped,
+    mirroring the legacy aggregation bit for bit.
+    """
+    avg_samples: Dict[str, List[float]] = {p: [] for p in solvers}
+    max_samples: Dict[str, List[float]] = {p: [] for p in solvers}
+    lp_avg_samples: List[float] = []
+    lp_max_samples: List[float] = []
+    flow_counts: List[float] = []
+    for tr in sorted(results, key=lambda r: r.trial):
+        if tr.num_flows == 0:
+            continue
+        flow_counts.append(float(tr.num_flows))
+        for p in solvers:
+            avg_samples[p].append(tr.avg_response[p])
+            max_samples[p].append(tr.max_response[p])
+        if tr.lp_avg is not None:
+            lp_avg_samples.append(tr.lp_avg)
+        if tr.lp_max is not None:
+            lp_max_samples.append(tr.lp_max)
+
+    def mean_of(samples: List[float]) -> float:
+        return float(np.mean(samples)) if samples else 0.0
+
+    def std_of(samples: List[float]) -> float:
+        return float(np.std(samples)) if samples else 0.0
+
+    return CellResult(
+        arrival_mean=arrival_mean,
+        rounds=rounds,
+        trials=trials,
+        num_flows_mean=mean_of(flow_counts),
+        avg_response={p: mean_of(avg_samples[p]) for p in solvers},
+        max_response={p: mean_of(max_samples[p]) for p in solvers},
+        avg_response_std={p: std_of(avg_samples[p]) for p in solvers},
+        max_response_std={p: std_of(max_samples[p]) for p in solvers},
+        lp_avg_bound=mean_of(lp_avg_samples) if lp_avg_samples else None,
+        lp_max_bound=mean_of(lp_max_samples) if lp_max_samples else None,
+    )
+
+
+class Runner:
+    """Execution facade: solvers × workloads through a pluggable executor.
+
+    Parameters
+    ----------
+    config:
+        The sweep configuration (grid, trials, seed, LP limit).
+    executor:
+        ``"serial"`` (default), ``"multiprocessing"``, or any object with
+        an order-preserving ``map(fn, items)``.
+    jobs:
+        Worker count; ``jobs > 1`` upgrades the default executor to a
+        multiprocessing pool.
+    chunk_size:
+        Items per pool task (multiprocessing only; auto when ``None``).
+    compute_lp_bounds:
+        Also compute the LP lower bounds for cells within
+        ``config.lp_round_limit``.
+
+    Example
+    -------
+    >>> from repro.experiments.config import smoke_config
+    >>> sweep = Runner(smoke_config()).run(solvers=["MaxWeight", "FIFO"])
+    >>> sorted(next(iter(sweep.cells.values())).avg_response)
+    ['FIFO', 'MaxWeight']
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        executor: "str | Executor" = "serial",
+        jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        compute_lp_bounds: bool = True,
+    ):
+        self.config = config
+        self.executor = make_executor(executor, jobs=jobs, chunk_size=chunk_size)
+        self.compute_lp_bounds = compute_lp_bounds
+
+    def cell_grid(
+        self,
+        workloads: Optional[Iterable[Tuple[float, int]]] = None,
+    ) -> List[Tuple[float, int]]:
+        """The (M, T) cells to run: ``workloads`` or the config grid."""
+        if workloads is not None:
+            return [(float(m), int(t)) for m, t in workloads]
+        return [
+            (mean, rounds)
+            for mean in self.config.arrival_means()
+            for rounds in self.config.generation_rounds
+        ]
+
+    def run(
+        self,
+        solvers: Optional[Sequence[str]] = None,
+        workloads: Optional[Iterable[Tuple[float, int]]] = None,
+        verbose: bool = False,
+        on_cell: Optional[Callable[[CellResult], None]] = None,
+    ) -> SweepResult:
+        """Run ``solvers`` over every (cell, trial) and aggregate.
+
+        ``solvers`` defaults to ``config.policies``; ``workloads`` to the
+        config's full (M, T) grid.  ``on_cell`` streams each
+        :class:`CellResult` as soon as its trials complete.
+        """
+        config = self.config
+        names = tuple(solvers) if solvers is not None else tuple(config.policies)
+        for name in names:  # fail fast on unknown solver names
+            get_solver(name)
+        cells = self.cell_grid(workloads)
+        items = [
+            WorkItem(
+                arrival_mean=mean,
+                rounds=rounds,
+                trial=trial,
+                config=config,
+                solvers=names,
+                want_lp=(
+                    self.compute_lp_bounds and rounds <= config.lp_round_limit
+                ),
+            )
+            for (mean, rounds) in cells
+            for trial in range(config.trials)
+        ]
+        result = SweepResult(config)
+        if config.trials == 0:  # degenerate config: empty cells, no items
+            for mean, rounds in cells:
+                cell = aggregate_cell(mean, rounds, 0, names, [])
+                result.cells[(mean, rounds)] = cell
+                if on_cell is not None:
+                    on_cell(cell)
+            return result
+
+        # Stream trial outcomes (in item order) and close out each cell
+        # as soon as its last trial arrives, so verbose lines and
+        # ``on_cell`` fire incrementally even on multi-hour sweeps.
+        if hasattr(self.executor, "imap"):
+            outcomes = self.executor.imap(run_trial, items)
+        else:  # custom executor providing only map()
+            outcomes = iter(self.executor.map(run_trial, items))
+
+        chunk: List[TrialResult] = []
+        cell_index = 0
+        try:
+            for tr in outcomes:
+                chunk.append(tr)
+                if len(chunk) < config.trials:
+                    continue
+                mean, rounds = cells[cell_index]
+                cell_index += 1
+                cell = aggregate_cell(
+                    mean, rounds, config.trials, names, chunk
+                )
+                result.cells[(mean, rounds)] = cell
+                for done in chunk:
+                    result.timer.merge(done.timings, done.timing_counts)
+                chunk = []
+                if on_cell is not None:
+                    on_cell(cell)
+                if verbose:  # pragma: no cover - console output
+                    print(format_cell_line(cell, names))
+        finally:
+            # Deterministically release the executor's resources (e.g.
+            # the multiprocessing pool held open inside a suspended
+            # imap generator) if iteration stops early.
+            close = getattr(outcomes, "close", None)
+            if close is not None:
+                close()
+        return result

@@ -7,7 +7,7 @@ FS-MRT minimizes ``max_e rho_e``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -63,6 +63,15 @@ class ScheduleMetrics:
             makespan=schedule.makespan(),
             max_augmentation=schedule.max_augmentation(),
         )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable field mapping (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "ScheduleMetrics":
+        """Rebuild from :meth:`to_dict` output."""
+        return ScheduleMetrics(**data)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (

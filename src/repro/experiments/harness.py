@@ -6,31 +6,28 @@ simulated on the *same* instances; results are averaged over trials.
 For cells with ``T <= lp_round_limit`` the LP lower bounds are computed
 on the same instances: LP (1)–(4) for average response (Figure 6) and
 the binary-searched LP (19)–(21) for max response (Figure 7).
+
+Execution is delegated to :class:`repro.api.runner.Runner`, which
+flattens the sweep into (cell, trial) work items, runs each solver from
+the plugin registry on them, and re-aggregates — so ``run_sweep`` gains
+parallel execution (``jobs > 1``) while producing byte-identical
+results to the serial legacy loops.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-import numpy as np
-
-from repro.art.lp_relaxation import art_lp_lower_bound
-from repro.core.metrics import average_response_time, max_response_time
 from repro.experiments.config import ExperimentConfig
-from repro.mrt.algorithm import fractional_mrt_lower_bound
-from repro.online.policies import make_policy
-from repro.online.simulator import simulate
-from repro.utils.rng import derive_seed
 from repro.utils.timing import Timer
-from repro.workloads.synthetic import poisson_uniform_workload
 
 
 @dataclass(frozen=True)
 class CellResult:
     """Aggregated results of one (M, T) cell.
 
-    ``avg_response[policy]`` / ``max_response[policy]`` are means over
+    ``avg_response[solver]`` / ``max_response[solver]`` are means over
     trials; the LP fields are ``None`` when the cell exceeded the LP
     round limit.
     """
@@ -60,93 +57,58 @@ class SweepResult:
         return self.cells[(arrival_mean, rounds)]
 
 
+def format_bound(value: Optional[float], precision: int) -> str:
+    """Render an LP bound for console output (``-`` only when absent).
+
+    A computed bound of exactly ``0.0`` is a real value and is printed
+    as such — only ``None`` (bound not computed) renders as ``-``.
+    """
+    if value is None:
+        return "-"
+    return f"{value:.{precision}f}"
+
+
+def format_cell_line(cell: CellResult, solvers: Sequence[str]) -> str:
+    """One verbose progress line per cell (legacy console format)."""
+    lp6 = format_bound(cell.lp_avg_bound, 2)
+    lp7 = format_bound(cell.lp_max_bound, 1)
+    return (
+        f"M={cell.arrival_mean:7.2f} T={cell.rounds:3d}  "
+        + "  ".join(
+            f"{p}:avg={cell.avg_response[p]:.2f}/max="
+            f"{cell.max_response[p]:.1f}"
+            for p in solvers
+        )
+        + f"  LPavg={lp6} LPmax={lp7}"
+    )
+
+
 def run_sweep(
     config: ExperimentConfig,
     compute_lp_bounds: bool = True,
     verbose: bool = False,
+    executor: str = "serial",
+    jobs: Optional[int] = None,
 ) -> SweepResult:
-    """Run the full Figure 6/7 sweep for ``config``."""
-    result = SweepResult(config)
-    for mean in config.arrival_means():
-        for rounds in config.generation_rounds:
-            cell = _run_cell(config, mean, rounds, compute_lp_bounds, result.timer)
-            result.cells[(mean, rounds)] = cell
-            if verbose:  # pragma: no cover - console output
-                lp6 = f"{cell.lp_avg_bound:.2f}" if cell.lp_avg_bound else "-"
-                lp7 = f"{cell.lp_max_bound:.1f}" if cell.lp_max_bound else "-"
-                print(
-                    f"M={mean:7.2f} T={rounds:3d}  "
-                    + "  ".join(
-                        f"{p}:avg={cell.avg_response[p]:.2f}/max="
-                        f"{cell.max_response[p]:.1f}"
-                        for p in config.policies
-                    )
-                    + f"  LPavg={lp6} LPmax={lp7}"
-                )
-    return result
+    """Run the full Figure 6/7 sweep for ``config``.
 
+    Parameters
+    ----------
+    config:
+        The sweep grid, trial count, seed, and policy list.
+    compute_lp_bounds:
+        Also compute LP bounds for cells within ``config.lp_round_limit``.
+    verbose:
+        Print one progress line per finished cell.
+    executor / jobs:
+        Execution backend (see :mod:`repro.api.executors`); ``jobs > 1``
+        runs trials in parallel with byte-identical results.
+    """
+    from repro.api.runner import Runner
 
-def _run_cell(
-    config: ExperimentConfig,
-    mean: float,
-    rounds: int,
-    compute_lp_bounds: bool,
-    timer: Timer,
-) -> CellResult:
-    avg_samples: Dict[str, List[float]] = {p: [] for p in config.policies}
-    max_samples: Dict[str, List[float]] = {p: [] for p in config.policies}
-    lp_avg_samples: List[float] = []
-    lp_max_samples: List[float] = []
-    flow_counts: List[int] = []
-
-    want_lp = compute_lp_bounds and rounds <= config.lp_round_limit
-    for trial in range(config.trials):
-        seed = derive_seed(
-            config.seed, int(round(mean * 1000)), rounds, trial
-        )
-        with timer.measure("generate"):
-            instance = poisson_uniform_workload(
-                config.num_ports, mean, rounds, seed=seed
-            )
-        if instance.num_flows == 0:
-            continue
-        flow_counts.append(instance.num_flows)
-        for policy_name in config.policies:
-            with timer.measure(f"simulate:{policy_name}"):
-                sim = simulate(instance, make_policy(policy_name))
-            avg_samples[policy_name].append(
-                average_response_time(sim.schedule)
-            )
-            max_samples[policy_name].append(
-                float(max_response_time(sim.schedule))
-            )
-        if want_lp:
-            horizon = instance.compact_horizon_bound()
-            with timer.measure("lp_avg_bound"):
-                lp_avg_samples.append(
-                    art_lp_lower_bound(instance, horizon=horizon)
-                    / instance.num_flows
-                )
-            with timer.measure("lp_max_bound"):
-                lp_max_samples.append(
-                    float(fractional_mrt_lower_bound(instance))
-                )
-
-    def mean_of(samples: List[float]) -> float:
-        return float(np.mean(samples)) if samples else 0.0
-
-    def std_of(samples: List[float]) -> float:
-        return float(np.std(samples)) if samples else 0.0
-
-    return CellResult(
-        arrival_mean=mean,
-        rounds=rounds,
-        trials=config.trials,
-        num_flows_mean=mean_of([float(c) for c in flow_counts]),
-        avg_response={p: mean_of(avg_samples[p]) for p in config.policies},
-        max_response={p: mean_of(max_samples[p]) for p in config.policies},
-        avg_response_std={p: std_of(avg_samples[p]) for p in config.policies},
-        max_response_std={p: std_of(max_samples[p]) for p in config.policies},
-        lp_avg_bound=mean_of(lp_avg_samples) if lp_avg_samples else None,
-        lp_max_bound=mean_of(lp_max_samples) if lp_max_samples else None,
-    )
+    return Runner(
+        config,
+        executor=executor,
+        jobs=jobs,
+        compute_lp_bounds=compute_lp_bounds,
+    ).run(verbose=verbose)

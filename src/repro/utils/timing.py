@@ -37,6 +37,13 @@ class Timer:
         self.totals[name] = self.totals.get(name, 0.0) + seconds
         self.counts[name] = self.counts.get(name, 0) + 1
 
+    def merge(self, totals: Dict[str, float], counts: Dict[str, int]) -> None:
+        """Fold another timer's ``totals``/``counts`` into this one."""
+        for name, seconds in totals.items():
+            self.totals[name] = self.totals.get(name, 0.0) + seconds
+        for name, count in counts.items():
+            self.counts[name] = self.counts.get(name, 0) + count
+
     def mean(self, name: str) -> float:
         """Mean elapsed seconds per measurement of ``name``."""
         if self.counts.get(name, 0) == 0:

@@ -93,6 +93,85 @@ class TestCommands:
         assert main(["fig6", "--quick", "--no-lp"]) == 0
         assert "Figure 6 panel" in capsys.readouterr().out
 
+    def test_list_solvers(self, capsys):
+        assert main(["list-solvers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("FS-ART", "FS-MRT", "MaxWeight", "SEBF", "Greedy"):
+            assert name in out
+        for kind in ("offline:", "online:", "coflow:"):
+            assert kind in out
+
+    def test_solve_generic(self, trace, tmp_path, capsys):
+        out_path = tmp_path / "greedy.json"
+        assert (
+            main(["solve", str(trace), "--solver", "Greedy",
+                  "--out", str(out_path)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "solver Greedy (offline)" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["metrics"]["num_flows"] == len(payload["assignment"])
+
+    def test_solve_with_params(self, trace, capsys):
+        assert (
+            main(["solve", str(trace), "--solver", "TimeConstrained",
+                  "-p", "rho=8"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "solver TimeConstrained (offline)" in out
+        assert "feasible = True" in out
+
+    def test_solve_unknown_solver(self, trace):
+        with pytest.raises(SystemExit, match="unknown solver"):
+            main(["solve", str(trace), "--solver", "NoSuch"])
+
+    def test_solve_bad_param_syntax(self, trace):
+        with pytest.raises(SystemExit):
+            main(["solve", str(trace), "-p", "noequalsign"])
+
+    def test_solve_kind_mismatch_exits_cleanly(self, trace):
+        with pytest.raises(SystemExit, match="CoflowInstance"):
+            main(["solve", str(trace), "--solver", "SEBF"])
+
+    def test_solve_bad_param_name_exits_cleanly(self, trace):
+        with pytest.raises(SystemExit, match="bogus"):
+            main(["solve", str(trace), "--solver", "Greedy", "-p", "bogus=1"])
+
+    def test_missing_trace_exits_cleanly(self, tmp_path):
+        missing = str(tmp_path / "nope.json")
+        for argv in (["solve", missing], ["simulate", missing],
+                     ["solve-mrt", missing]):
+            with pytest.raises(SystemExit, match="No such file"):
+                main(argv)
+
+    def test_simulate_unknown_policy_exits_cleanly(self, trace):
+        with pytest.raises(SystemExit, match="unknown solver"):
+            main(["simulate", str(trace), "--policy", "NoSuch"])
+
+    def test_simulate_non_online_solver_exits_cleanly(self, trace):
+        with pytest.raises(SystemExit, match="expected 'online'"):
+            main(["simulate", str(trace), "--policy", "SEBF"])
+
+    def test_solve_param_named_kind_reaches_solver(self, trace):
+        # -p names must never bind _run_on_trace's own arguments.
+        with pytest.raises(SystemExit, match="kind"):
+            main(["solve", str(trace), "--solver", "Greedy",
+                  "-p", "kind=coflow"])
+
+    def test_solve_infeasible_exits_1_without_out(self, trace, capsys):
+        assert (
+            main(["solve", str(trace), "--solver", "TimeConstrained",
+                  "-p", "rho=1"])
+            == 1
+        )
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_fig_jobs_flag_parses(self):
+        args = build_parser().parse_args(["fig7", "--quick", "--jobs", "2"])
+        assert args.jobs == 2
+
     def test_module_invocation(self, trace):
         result = subprocess.run(
             [sys.executable, "-m", "repro", "simulate", str(trace)],

@@ -1,0 +1,80 @@
+"""LP bound pipeline — cold rebuilds vs the warm oracle vs the caches.
+
+Quantifies the PR's tentpole: the binary-searched LP (19)-(21) bound
+with one model build per probe (legacy), with one build total
+(:class:`repro.lp.bounds.LPBoundOracle`), served from the in-process
+digest memo, and served from the on-disk result store.
+
+Run:  pytest benchmarks/bench_lp_bounds.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_config
+from repro.core.greedy import greedy_earliest_fit
+from repro.core.metrics import max_response_time
+from repro.lp.bounds import LPBoundOracle, clear_bound_caches, mrt_lower_bound
+from repro.mrt.lp_relaxation import is_fractionally_feasible
+from repro.mrt.time_constrained import from_response_bound
+from repro.workloads.synthetic import poisson_uniform_workload
+
+
+def _instance():
+    config = bench_config()
+    return poisson_uniform_workload(
+        config.num_ports, config.num_ports, 6, seed=2
+    )
+
+
+def test_bench_cold_rebuild_search(benchmark):
+    """Legacy shape: a fresh LP built and cold-solved at every probe."""
+    inst = _instance()
+    rho_upper = max_response_time(greedy_earliest_fit(inst))
+
+    def cold():
+        lo, hi = 1, rho_upper
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if is_fractionally_feasible(from_response_bound(inst, mid)):
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    benchmark.pedantic(cold, rounds=3, iterations=1)
+
+
+def test_bench_oracle_search(benchmark):
+    """Warm oracle: one build, bound mutations across the same search."""
+    inst = _instance()
+    rho_upper = max_response_time(greedy_earliest_fit(inst))
+
+    def warm():
+        oracle = LPBoundOracle(inst, rho_cap=rho_upper)
+        value = oracle.lower_bound()
+        assert oracle.builds == 1
+        return value
+
+    benchmark.pedantic(warm, rounds=3, iterations=1)
+
+
+def test_bench_digest_memo_hit(benchmark):
+    """Repeated bound queries for one instance: digest memo, no LP work."""
+    inst = _instance()
+    clear_bound_caches()
+    mrt_lower_bound(inst)  # prime
+    benchmark(lambda: mrt_lower_bound(inst))
+
+
+def test_bench_store_warm_sweep(benchmark, tmp_path):
+    """A cache-warm sweep: every solve served from the on-disk store."""
+    from repro.api.runner import Runner
+
+    config = bench_config(generation_rounds=(6,), trials=1)
+    Runner(config, cache_dir=tmp_path).run()  # prime the store
+
+    def warm_sweep():
+        clear_bound_caches()
+        return Runner(config, cache_dir=tmp_path).run()
+
+    benchmark.pedantic(warm_sweep, rounds=3, iterations=1)

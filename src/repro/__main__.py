@@ -9,7 +9,9 @@ Commands
     Enumerate the plugin registry (offline / online / coflow).
 ``fig6`` / ``fig7``
     Regenerate the paper's figure series (``--quick`` /
-    ``--paper-scale``; ``--jobs N`` parallelizes the sweep trials).
+    ``--paper-scale``; ``--jobs N`` parallelizes the sweep trials;
+    ``--cache-dir DIR`` persists per-trial results so killed sweeps
+    resume, with ``--resume`` [default] / ``--no-cache`` toggling reads).
 ``solve-mrt TRACE`` / ``solve-art TRACE`` / ``simulate TRACE``
     Back-compat aliases for ``solve`` with the FS-MRT / FS-ART / online
     policy solvers.
@@ -64,11 +66,17 @@ def _cmd_figures(args, which: str) -> int:
         config = smoke_config()
     else:
         config = default_config()
+    if (args.resume or args.no_cache) and args.cache_dir is None:
+        raise SystemExit("error: --resume/--no-cache require --cache-dir")
+    if args.resume and args.no_cache:
+        raise SystemExit("error: --resume and --no-cache are mutually exclusive")
     sweep = run_sweep(
         config,
         compute_lp_bounds=not args.no_lp,
         verbose=True,
         jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        resume=not args.no_cache,
     )
     print()
     print(render_fig6(sweep) if which == "fig6" else render_fig7(sweep))
@@ -249,6 +257,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-lp", action="store_true")
         p.add_argument("--jobs", type=_positive_int, default=None,
                        help="parallel worker processes for the sweep")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persist per-trial results here; interrupted "
+                            "sweeps resume and repeated cells are served "
+                            "from disk")
+        p.add_argument("--resume", action="store_true",
+                       help="reuse results already in --cache-dir "
+                            "(the default; flag kept for explicitness)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="recompute every cell, refreshing --cache-dir")
 
     p = sub.add_parser("solve-mrt",
                        help="offline Theorem 3 solver (alias of solve)")

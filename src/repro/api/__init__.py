@@ -41,6 +41,7 @@ from repro.api.registry import (
 )
 from repro.api.report import SolveReport
 from repro.api.runner import Runner, TrialResult, WorkItem, run_trial
+from repro.api.store import ResultStore, open_store
 
 # Importing the adapters registers every builtin.  Eager on purpose:
 # any path to the registry imports this package first, so builtins are
@@ -61,6 +62,8 @@ __all__ = [
     "WorkItem",
     "TrialResult",
     "run_trial",
+    "ResultStore",
+    "open_store",
     "Executor",
     "SerialExecutor",
     "MultiprocessingExecutor",

@@ -16,7 +16,7 @@ register_solver` — the registry name is the series label.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -32,7 +32,14 @@ from repro.workloads.synthetic import poisson_uniform_workload
 
 @dataclass(frozen=True)
 class WorkItem:
-    """One (cell, trial) unit of sweep work — picklable and self-contained."""
+    """One (cell, trial) unit of sweep work — picklable and self-contained.
+
+    ``cache_dir`` (when set) points at a :class:`repro.api.store.
+    ResultStore` directory: the item's solver runs and LP bounds are
+    looked up there before any work happens and persisted after.
+    ``use_cache=False`` recomputes everything but still refreshes the
+    store.
+    """
 
     arrival_mean: float
     rounds: int
@@ -40,6 +47,8 @@ class WorkItem:
     config: ExperimentConfig
     solvers: Tuple[str, ...]
     want_lp: bool
+    cache_dir: Optional[str] = None
+    use_cache: bool = True
 
 
 @dataclass(frozen=True)
@@ -58,12 +67,55 @@ class TrialResult:
     timing_counts: Dict[str, int]
 
 
+#: Pseudo-solver names the LP bounds are stored under in the result store.
+LP_AVG_KEY = "lp:art_avg"
+LP_MAX_KEY = "lp:mrt_max"
+
+
+def _bound_report(solver: str, lower_bounds: Dict[str, float], params: dict) -> dict:
+    """``SolveReport.to_dict()`` payload for a schedule-less LP bound."""
+    from repro.api.report import SolveReport
+
+    return SolveReport(
+        solver=solver,
+        kind="bound",
+        metrics=None,
+        lower_bounds=lower_bounds,
+        params=params,
+    ).to_dict()
+
+
+def _report_through_store(store, solver, digest, params, compute):
+    """The stored report dict for one unit of work, or compute-and-persist.
+
+    The single cache-protocol wrapper of :func:`run_trial`: ``compute``
+    (returning a ``SolveReport``-shaped dict) only runs on a store miss —
+    or with no store at all, in which case nothing is persisted.
+    """
+    if store is not None:
+        cached = store.get(solver, digest, params)
+        if cached is not None:
+            return cached
+    record = compute()
+    if store is not None:
+        store.put(solver, digest, params, record)
+    return record
+
+
 def run_trial(item: WorkItem) -> TrialResult:
     """Execute one work item: generate, solve with every solver, bound.
 
     Deterministic: the instance seed derives from (config seed, M, T,
     trial) exactly as the legacy harness did, so sweeps reproduce the
     seed repo's numbers and are identical across executors.
+
+    With ``item.cache_dir`` set, each solver run and each LP bound is
+    first looked up in the on-disk result store by ``(solver, instance
+    digest, params)`` and only computed — then persisted — on a miss.
+    Instance generation always runs (the digest *is* the cache key), so
+    a cache-warm trial costs one workload draw and zero solves, and the
+    stored values round-trip through JSON exactly: a resumed sweep is
+    byte-identical to an uninterrupted one.
     """
     config = item.config
     timer = Timer()
@@ -75,35 +127,82 @@ def run_trial(item: WorkItem) -> TrialResult:
         instance = poisson_uniform_workload(
             config.num_ports, item.arrival_mean, item.rounds, seed=seed
         )
+    store = None
+    digest = ""
+    if item.cache_dir is not None and instance.num_flows > 0:
+        from repro.api.store import open_store
+
+        store = open_store(item.cache_dir, read=item.use_cache)
+        digest = instance.digest()
     avg: Dict[str, float] = {}
     mx: Dict[str, float] = {}
     lp_avg = lp_max = None
     if instance.num_flows > 0:
         for name in item.solvers:
-            solver = get_solver(name)
-            with timer.measure(f"simulate:{name}"):
-                report = solver.solve(instance)
-            if report.metrics is None:
+
+            def reject_infeasible(name=name):
                 raise ValueError(
                     f"solver {name!r} returned an infeasible report "
                     f"(metrics=None) for sweep cell M={item.arrival_mean} "
                     f"T={item.rounds} trial={item.trial}; sweeps require "
                     "solvers that always produce a schedule"
                 )
-            avg[name] = report.metrics.average_response
-            mx[name] = float(report.metrics.max_response)
+
+            def run_solver(name=name):
+                with timer.measure(f"simulate:{name}"):
+                    report = get_solver(name).solve(instance)
+                if report.metrics is None:
+                    # Raise before the store.put: a rejected result must
+                    # not poison the cache for resumed runs.
+                    reject_infeasible()
+                # Wall-clock timings are nondeterministic (stripping them
+                # keeps the store content-deterministic), and the schedule
+                # embeds a full copy of the instance per solver — the
+                # sweep only ever reads the metrics back, so neither is
+                # serialized in the first place.
+                return replace(report, schedule=None, timings={}).to_dict()
+
+            record = _report_through_store(store, name, digest, {}, run_solver)
+            metrics = record["metrics"]
+            if metrics is None:  # a poisoned record from an older store
+                reject_infeasible()
+            avg[name] = metrics["average_response"]
+            mx[name] = float(metrics["max_response"])
         if item.want_lp:
-            from repro.art.lp_relaxation import art_lp_lower_bound
-            from repro.mrt.algorithm import fractional_mrt_lower_bound
+            from repro.lp.bounds import art_lower_bound, mrt_lower_bound
 
             horizon = instance.compact_horizon_bound()
-            with timer.measure("lp_avg_bound"):
-                lp_avg = (
-                    art_lp_lower_bound(instance, horizon=horizon)
-                    / instance.num_flows
+            avg_params = {"horizon": horizon}
+
+            def run_avg_bound():
+                with timer.measure("lp_avg_bound"):
+                    total = art_lower_bound(
+                        instance,
+                        horizon=horizon,
+                        timer=timer,
+                        use_cache=item.use_cache,
+                    )
+                return _bound_report(
+                    LP_AVG_KEY, {"lp_total_response": float(total)}, avg_params
                 )
-            with timer.measure("lp_max_bound"):
-                lp_max = float(fractional_mrt_lower_bound(instance))
+
+            def run_max_bound():
+                with timer.measure("lp_max_bound"):
+                    rho = float(
+                        mrt_lower_bound(
+                            instance, timer=timer, use_cache=item.use_cache
+                        )
+                    )
+                return _bound_report(LP_MAX_KEY, {"rho_star": rho}, {})
+
+            record = _report_through_store(
+                store, LP_AVG_KEY, digest, avg_params, run_avg_bound
+            )
+            lp_avg = record["lower_bounds"]["lp_total_response"] / instance.num_flows
+            record = _report_through_store(
+                store, LP_MAX_KEY, digest, {}, run_max_bound
+            )
+            lp_max = float(record["lower_bounds"]["rho_star"])
     return TrialResult(
         arrival_mean=item.arrival_mean,
         rounds=item.rounds,
@@ -185,6 +284,17 @@ class Runner:
     compute_lp_bounds:
         Also compute the LP lower bounds for cells within
         ``config.lp_round_limit``.
+    cache_dir:
+        Directory of a content-addressed result store (see
+        :mod:`repro.api.store`).  Finished solver runs and LP bounds are
+        persisted there per (cell, trial), so an interrupted sweep
+        resumes where it stopped and repeated sweeps are served from
+        disk — across processes.  ``None`` (default) disables
+        persistence.
+    resume:
+        With a ``cache_dir``: read previously stored results (default).
+        ``False`` recomputes everything while still refreshing the store
+        (the CLI's ``--no-cache``).
 
     Example
     -------
@@ -201,10 +311,14 @@ class Runner:
         jobs: Optional[int] = None,
         chunk_size: Optional[int] = None,
         compute_lp_bounds: bool = True,
+        cache_dir: "Optional[str]" = None,
+        resume: bool = True,
     ):
         self.config = config
         self.executor = make_executor(executor, jobs=jobs, chunk_size=chunk_size)
         self.compute_lp_bounds = compute_lp_bounds
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.resume = resume
 
     def cell_grid(
         self,
@@ -247,6 +361,8 @@ class Runner:
                 want_lp=(
                     self.compute_lp_bounds and rounds <= config.lp_round_limit
                 ),
+                cache_dir=self.cache_dir,
+                use_cache=self.resume,
             )
             for (mean, rounds) in cells
             for trial in range(config.trials)

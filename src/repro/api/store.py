@@ -1,0 +1,228 @@
+"""Content-addressed on-disk result store: resumable, cross-process sweeps.
+
+The store persists finished :class:`~repro.api.report.SolveReport`
+payloads (as their ``to_dict()`` JSON) keyed by
+``(solver, instance digest, params)``, where the digest is the canonical
+SHA-256 of the instance (:meth:`repro.core.instance.Instance.digest`).
+The key is itself content-addressed — the SHA-256 of the sorted-key
+compact JSON of those three fields — so a record can only ever be looked
+up by the exact work that produced it.
+
+Layout: one append-only JSON-lines shard per writing store,
+
+    <cache_dir>/results-<pid>-<token>.jsonl
+
+each line ``{"key", "solver", "instance", "params", "report"}``.  Every
+``put`` appends one line and flushes, so a killed sweep keeps every
+completed record; a torn final line (the kill landed mid-write) is
+skipped on load.  Readers load the union of all shards, which makes the
+layout safe under the multiprocessing executor: concurrent workers never
+share a shard file.
+
+Records are deterministic per key, so duplicate keys across shards
+normally carry identical records.  They can diverge only when solver
+code changed between runs sharing a cache dir; loads then resolve the
+conflict last-writer-wins, ordering shards by modification time (shard
+names are unique per writing store, so a new run never appends to — and
+never mtime-bumps — a shard left by an earlier one).  The one scenario
+this cannot order correctly is two *concurrently live* writers
+straddling a code change; don't share a cache dir across versions of
+the solvers while a sweep is still running.
+
+:class:`~repro.api.runner.Runner` consults the store per (cell, trial)
+work item — simulations, the ART LP bound, and the binary-searched MRT
+LP bound are each stored under their own pseudo-solver key — so an
+interrupted sweep resumes where it stopped and repeated sweeps over the
+same cells are served entirely from disk.  Stored solver reports have
+their wall-clock ``timings`` stripped (the one nondeterministic field)
+and their ``schedule`` dropped (it embeds a full instance copy the sweep
+never reads back), so the store's content is a small, deterministic
+function of the work: a resumed sweep's store is byte-identical (as a
+set of lines) to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import uuid
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional
+
+
+def canonical_key(solver: str, instance_digest: str, params: dict) -> str:
+    """Content address of one unit of work (hex SHA-256).
+
+    ``params`` must be JSON-serializable; key ordering is normalized so
+    logically equal parameter dicts address the same record.
+    """
+    payload = json.dumps(
+        {"solver": solver, "instance": instance_digest, "params": params},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """Append-only JSON-lines store of solve reports under ``cache_dir``.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory holding the shards (created if missing).
+    read:
+        When ``False`` (the ``--no-cache`` CLI semantics), ``get`` always
+        misses so every result is recomputed; ``put`` still refreshes the
+        store for future runs.
+
+    Attributes
+    ----------
+    hits / misses:
+        ``get`` outcome counters for diagnostics and tests.
+    """
+
+    def __init__(self, cache_dir: "str | Path", read: bool = True):
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.read_enabled = bool(read)
+        self.hits = 0
+        self.misses = 0
+        self._index: Dict[str, dict] = {}
+        self._fh = None
+        self._load()
+
+    def _load(self) -> None:
+        # Shards ordered oldest-modified first so that, for a key stored
+        # more than once (a --no-cache refresh after a solver change),
+        # the most recently written record wins.
+        shards = sorted(
+            self.cache_dir.glob("results-*.jsonl"),
+            key=lambda p: (p.stat().st_mtime_ns, p.name),
+        )
+        for shard in shards:
+            with open(shard, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                        self._index[entry["key"]] = entry["report"]
+                    except (json.JSONDecodeError, KeyError, TypeError):
+                        # Torn tail line of a killed writer; every
+                        # complete line before it is still usable.
+                        continue
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def get(
+        self, solver: str, instance_digest: str, params: dict
+    ) -> Optional[dict]:
+        """The stored report dict for this work, or ``None`` on a miss."""
+        if not self.read_enabled:
+            return None
+        report = self._index.get(canonical_key(solver, instance_digest, params))
+        if report is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return report
+
+    def put(
+        self, solver: str, instance_digest: str, params: dict, report: dict
+    ) -> None:
+        """Persist ``report`` (a ``SolveReport.to_dict()`` payload).
+
+        Dedup is by *content*: an identical record already present is not
+        re-appended (repeated ``--no-cache`` runs don't grow shards), but
+        a changed record for a known key — a recompute after a solver
+        change — is appended and wins on future loads (last writer wins).
+        """
+        key = canonical_key(solver, instance_digest, params)
+        if self._index.get(key) == report:
+            return
+        if self._fh is None:
+            # The random token makes the shard name unique per store, so
+            # no writer ever appends to (and mtime-bumps) a shard left by
+            # an earlier process — pid reuse cannot resurrect a stale
+            # record past a newer refresh shard in _load's ordering.
+            shard = (
+                self.cache_dir
+                / f"results-{os.getpid()}-{uuid.uuid4().hex[:8]}.jsonl"
+            )
+            self._fh = open(shard, "a", encoding="utf-8")
+        line = json.dumps(
+            {
+                "key": key,
+                "solver": solver,
+                "instance": instance_digest,
+                "params": params,
+                "report": report,
+            },
+            sort_keys=True,
+        )
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        self._index[key] = report
+
+    def close(self) -> None:
+        """Close this process's shard handle (records are already flushed)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+#: Most-recently-used stores kept open per process; older ones are
+#: closed and evicted (reopening simply reloads the shards from disk).
+OPEN_STORE_LIMIT = 8
+
+_OPEN_STORES: "OrderedDict[tuple, ResultStore]" = OrderedDict()
+
+
+def open_store(cache_dir: "str | Path", read: bool = True) -> ResultStore:
+    """Per-process memoised :class:`ResultStore` for ``cache_dir``.
+
+    Work items executed back-to-back in one process (serial runs, or one
+    multiprocessing worker's share of a sweep) reuse a single store, so
+    the shard index is loaded once.  Keyed by pid so fork-started workers
+    do not inherit the parent's open shard handle.  At most
+    ``OPEN_STORE_LIMIT`` stores stay open — least-recently-used ones are
+    flushed-and-closed, so long-lived processes sweeping many cache
+    directories do not accumulate file handles or indexes.
+    """
+    resolved = str(Path(cache_dir).resolve())
+    key = (os.getpid(), resolved, bool(read))
+    store = _OPEN_STORES.get(key)
+    if store is None:
+        if not read:
+            # A read-disabled (--no-cache) store is about to refresh the
+            # directory: drop any memoised read store so the *next* read
+            # open reloads from disk and sees the refreshed records
+            # instead of a stale pre-refresh index.
+            stale = _OPEN_STORES.pop((os.getpid(), resolved, True), None)
+            if stale is not None:
+                stale.close()
+        store = ResultStore(cache_dir, read=read)
+        _OPEN_STORES[key] = store
+    _OPEN_STORES.move_to_end(key)
+    while len(_OPEN_STORES) > OPEN_STORE_LIMIT:
+        _, evicted = _OPEN_STORES.popitem(last=False)
+        evicted.close()
+    return store
+
+
+def close_open_stores() -> None:
+    """Close and forget every memoised store of this process.
+
+    The next :func:`open_store` reloads the shards from disk — use this
+    to observe another process's (or a ``--no-cache`` refresh's) writes
+    mid-process, or to make an in-process rerun a true disk round-trip
+    in tests.
+    """
+    while _OPEN_STORES:
+        _, store = _OPEN_STORES.popitem(last=False)
+        store.close()

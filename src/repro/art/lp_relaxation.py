@@ -77,18 +77,26 @@ def art_lp_lower_bound(
     instance: Instance,
     horizon: Optional[int] = None,
     backend: str = "auto",
+    timer=None,
 ) -> float:
     """Optimal value of LP (1)–(4): a lower bound on total response time.
 
     Lemma 3.1: for any schedule σ, ``sum_e Delta_e* <= sum_e rho_e``.
     This is the baseline the paper's Figure 6 plots against the
     heuristics ("the optimal value of the linear program (1)-(4)").
+
+    ``timer`` (an optional :class:`repro.utils.timing.Timer`) receives
+    one ``lp_bound_build`` and one ``lp_bound_solve`` measurement — the
+    cold-work counters of the :mod:`repro.lp.bounds` subsystem.
     """
+    from contextlib import nullcontext
+
     if instance.num_flows == 0:
         return 0.0
-    result = solve_lp(
-        build_fractional_art_lp(instance, horizon), backend=backend
-    )
+    with timer.measure("lp_bound_build") if timer else nullcontext():
+        lp = build_fractional_art_lp(instance, horizon)
+    with timer.measure("lp_bound_solve") if timer else nullcontext():
+        result = solve_lp(lp, backend=backend)
     if not result.is_optimal:  # pragma: no cover - LP is always feasible
         raise RuntimeError(f"ART lower-bound LP failed: {result.status}")
     return float(result.objective)

@@ -10,6 +10,7 @@ record/replay.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -215,6 +216,25 @@ class Instance:
             for f in data["flows"]
         ]
         return Instance.create(switch, flows)
+
+    def digest(self) -> str:
+        """Canonical content digest of the instance (hex SHA-256).
+
+        Computed over the sorted-key compact JSON of :meth:`to_dict`, so
+        two instances with identical switch and flow data share a digest
+        regardless of how they were constructed.  This is the cache key
+        used by the :mod:`repro.lp.bounds` solve caches and the sweep
+        result store (:mod:`repro.api.store`).  Memoized — the instance
+        is frozen, so the digest can never go stale.
+        """
+        cached = getattr(self, "_digest", None)
+        if cached is None:
+            payload = json.dumps(
+                self.to_dict(), sort_keys=True, separators=(",", ":")
+            )
+            cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
     def save_json(self, path: str | Path) -> None:
         """Write the instance to ``path`` as JSON."""

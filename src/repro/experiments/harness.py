@@ -89,6 +89,8 @@ def run_sweep(
     verbose: bool = False,
     executor: str = "serial",
     jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    resume: bool = True,
 ) -> SweepResult:
     """Run the full Figure 6/7 sweep for ``config``.
 
@@ -103,6 +105,11 @@ def run_sweep(
     executor / jobs:
         Execution backend (see :mod:`repro.api.executors`); ``jobs > 1``
         runs trials in parallel with byte-identical results.
+    cache_dir / resume:
+        Persist per-trial solver runs and LP bounds to a content-addressed
+        on-disk store so interrupted sweeps resume and repeated sweeps are
+        served from disk; ``resume=False`` recomputes but still refreshes
+        the store (see :class:`repro.api.runner.Runner`).
     """
     from repro.api.runner import Runner
 
@@ -111,4 +118,6 @@ def run_sweep(
         executor=executor,
         jobs=jobs,
         compute_lp_bounds=compute_lp_bounds,
+        cache_dir=cache_dir,
+        resume=resume,
     ).run(verbose=verbose)

@@ -1,13 +1,24 @@
 """Linear-programming substrate (the paper used Gurobi 8.1).
 
-* :mod:`repro.lp.model` — a sparse LP model builder with named variables;
+* :mod:`repro.lp.model` — a sparse LP model builder with named variables
+  and mutable bounds;
 * :mod:`repro.lp.simplex` — a self-contained two-phase primal simplex
   (Bland's rule, dense tableau) that returns optimal *basic* solutions;
 * :mod:`repro.lp.solver` — backend dispatch between our simplex and SciPy
   HiGHS (``highs-ds`` when a vertex solution is required, as in the
-  iterative-rounding pipelines).
+  iterative-rounding pipelines);
+* :mod:`repro.lp.bounds` — warm bound oracles for the sweep LPs: build
+  the model once per instance, mutate only the ρ-dependent bounds across
+  the binary search, and memoise results by canonical instance digest.
 """
 
+from repro.lp.bounds import (
+    LPBoundOracle,
+    art_lower_bound,
+    cache_stats,
+    clear_bound_caches,
+    mrt_lower_bound,
+)
 from repro.lp.model import Constraint, LinearProgram, Sense
 from repro.lp.result import LPResult, LPStatus
 from repro.lp.solver import solve_lp
@@ -22,4 +33,9 @@ __all__ = [
     "solve_lp",
     "simplex_solve",
     "SimplexResult",
+    "LPBoundOracle",
+    "mrt_lower_bound",
+    "art_lower_bound",
+    "cache_stats",
+    "clear_bound_caches",
 ]

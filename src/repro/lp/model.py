@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -51,6 +51,10 @@ class LinearProgram:
         self._lower: List[float] = []
         self._upper: List[float] = []
         self.constraints: List[Constraint] = []
+        # Memoised sparse export (bounds-independent); invalidated by any
+        # structural change so repeated solves of one model — the bound
+        # oracle's binary search — skip the O(nnz) matrix rebuild.
+        self._scipy_matrices = None
 
     # ------------------------------------------------------------------
     # Variables
@@ -66,6 +70,7 @@ class LinearProgram:
         """Add variable ``name``; returns its column index."""
         if name in self._var_index:
             raise ValueError(f"duplicate variable {name!r}")
+        self._scipy_matrices = None
         idx = len(self._var_names)
         self._var_index[name] = idx
         self._var_names.append(name)
@@ -101,6 +106,32 @@ class LinearProgram:
         """Set the objective coefficient of an existing variable."""
         self._objective[self.var(name)] = float(coefficient)
 
+    def set_bounds(
+        self, name: Hashable, lower: float = 0.0, upper: float = np.inf
+    ) -> None:
+        """Replace the bounds of an existing variable.
+
+        Bound mutation is what lets :class:`repro.lp.bounds.LPBoundOracle`
+        reuse one built model across a whole binary search: fixing a
+        variable to ``[0, 0]`` is equivalent to removing it from the LP.
+        """
+        idx = self.var(name)
+        self._lower[idx] = float(lower)
+        self._upper[idx] = float(upper)
+
+    def set_upper_bounds(self, upper: Sequence[float]) -> None:
+        """Replace every variable's upper bound at once (column order).
+
+        The vectorized counterpart of :meth:`set_bounds` used on the
+        oracle hot path, where all ρ-dependent bounds change per query.
+        """
+        values = np.asarray(upper, dtype=np.float64)
+        if values.shape != (self.num_vars,):
+            raise ValueError(
+                f"need {self.num_vars} upper bounds, got {values.shape}"
+            )
+        self._upper = values.tolist()
+
     # ------------------------------------------------------------------
     # Constraints
     # ------------------------------------------------------------------
@@ -113,6 +144,7 @@ class LinearProgram:
         rhs: float,
     ) -> Constraint:
         """Add ``sum coeffs[v] * v  (sense)  rhs`` over named variables."""
+        self._scipy_matrices = None
         indexed = {self.var(v): float(c) for v, c in coeffs.items() if c != 0.0}
         constraint = Constraint(name, indexed, sense, float(rhs))
         self.constraints.append(constraint)
@@ -141,36 +173,42 @@ class LinearProgram:
     ]:
         """Export ``(c, A_ub, b_ub, A_eq, b_eq)`` for ``scipy.linprog``.
 
-        ``>=`` rows are negated into ``<=`` form.
+        ``>=`` rows are negated into ``<=`` form.  The matrices and
+        right-hand sides depend only on the constraint structure — not on
+        the objective or the (mutable) variable bounds — so they are
+        memoised across calls until a variable or constraint is added.
         """
-        n = self.num_vars
-        ub_rows: List[Tuple[Dict[int, float], float]] = []
-        eq_rows: List[Tuple[Dict[int, float], float]] = []
-        for con in self.constraints:
-            if con.sense is Sense.LE:
-                ub_rows.append((con.coeffs, con.rhs))
-            elif con.sense is Sense.GE:
-                ub_rows.append(({i: -c for i, c in con.coeffs.items()}, -con.rhs))
-            else:
-                eq_rows.append((con.coeffs, con.rhs))
+        if self._scipy_matrices is None:
+            n = self.num_vars
+            ub_rows: List[Tuple[Dict[int, float], float]] = []
+            eq_rows: List[Tuple[Dict[int, float], float]] = []
+            for con in self.constraints:
+                if con.sense is Sense.LE:
+                    ub_rows.append((con.coeffs, con.rhs))
+                elif con.sense is Sense.GE:
+                    ub_rows.append(
+                        ({i: -c for i, c in con.coeffs.items()}, -con.rhs)
+                    )
+                else:
+                    eq_rows.append((con.coeffs, con.rhs))
 
-        def build(rows: List[Tuple[Dict[int, float], float]]):
-            if not rows:
-                return None, None
-            data, row_idx, col_idx, rhs = [], [], [], []
-            for r, (coeffs, b) in enumerate(rows):
-                rhs.append(b)
-                for c, val in coeffs.items():
-                    row_idx.append(r)
-                    col_idx.append(c)
-                    data.append(val)
-            mat = sparse.csr_matrix(
-                (data, (row_idx, col_idx)), shape=(len(rows), n)
-            )
-            return mat, np.asarray(rhs, dtype=np.float64)
+            def build(rows: List[Tuple[Dict[int, float], float]]):
+                if not rows:
+                    return None, None
+                data, row_idx, col_idx, rhs = [], [], [], []
+                for r, (coeffs, b) in enumerate(rows):
+                    rhs.append(b)
+                    for c, val in coeffs.items():
+                        row_idx.append(r)
+                        col_idx.append(c)
+                        data.append(val)
+                mat = sparse.csr_matrix(
+                    (data, (row_idx, col_idx)), shape=(len(rows), n)
+                )
+                return mat, np.asarray(rhs, dtype=np.float64)
 
-        a_ub, b_ub = build(ub_rows)
-        a_eq, b_eq = build(eq_rows)
+            self._scipy_matrices = (*build(ub_rows), *build(eq_rows))
+        a_ub, b_ub, a_eq, b_eq = self._scipy_matrices
         return self.objective_vector(), a_ub, b_ub, a_eq, b_eq
 
     def to_dense_standard_form(

@@ -22,6 +22,7 @@ thousand variables; larger models should use the ``highs-ds`` backend.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
 from typing import Optional
 
@@ -90,9 +91,14 @@ def simplex_solve(
     tableau[m, :n] = A.sum(axis=0)
     tableau[m, -1] = b.sum()
 
-    iters1 = _run_simplex(tableau, basis, n + m, max_iterations)
-    if iters1 < 0:
-        return SimplexResult(LPStatus.ERROR, iterations=max_iterations)
+    status1, iters1 = _run_simplex(tableau, basis, n + m, max_iterations)
+    if status1 is _Sweep.EXHAUSTED:
+        return SimplexResult(LPStatus.ERROR, iterations=iters1)
+    if status1 is _Sweep.UNBOUNDED:
+        # The phase-1 objective (sum of artificials) is bounded below by
+        # zero, so an unbounded ray here can only mean numerical
+        # breakdown of the tableau.
+        return SimplexResult(LPStatus.ERROR, iterations=iters1)
     phase1_obj = tableau[m, -1]
     if phase1_obj > 1e-7:
         return SimplexResult(LPStatus.INFEASIBLE, iterations=iters1)
@@ -136,11 +142,10 @@ def simplex_solve(
     # (entering column has positive entry in the stored row).
     t2[m2, :] *= -1.0
 
-    iters2 = _run_simplex(t2, basis2, n, max_iterations - iters1)
-    if iters2 < 0:
-        return SimplexResult(LPStatus.ERROR, iterations=max_iterations)
-    if _UNBOUNDED_FLAG["hit"]:
-        _UNBOUNDED_FLAG["hit"] = False
+    status2, iters2 = _run_simplex(t2, basis2, n, max_iterations - iters1)
+    if status2 is _Sweep.EXHAUSTED:
+        return SimplexResult(LPStatus.ERROR, iterations=iters1 + iters2)
+    if status2 is _Sweep.UNBOUNDED:
         return SimplexResult(LPStatus.UNBOUNDED, iterations=iters1 + iters2)
 
     x = np.zeros(n)
@@ -153,38 +158,43 @@ def simplex_solve(
     return SimplexResult(LPStatus.OPTIMAL, x, objective, iters1 + iters2)
 
 
-# Module-level flag set by _run_simplex when it proves unboundedness.  A
-# plain return-code would be cleaner, but the two call sites need to
-# distinguish iteration exhaustion (-1) from unboundedness without
-# widening the return type; this keeps the hot loop allocation-free.
-_UNBOUNDED_FLAG = {"hit": False}
+class _Sweep(enum.Enum):
+    """Outcome of one :func:`_run_simplex` sweep (internal)."""
+
+    OPTIMAL = "optimal"
+    UNBOUNDED = "unbounded"
+    EXHAUSTED = "exhausted"
 
 
 def _run_simplex(
     tableau: np.ndarray, basis: np.ndarray, n_cols: int, max_iterations: int
-) -> int:
+) -> tuple[_Sweep, int]:
     """Pivot ``tableau`` to optimality using Bland's rule.
 
     The last row stores the *negated* reduced costs (entering columns are
-    those with entries ``> tol``); the last column is the RHS.  Returns the
-    iteration count, or ``-1`` if ``max_iterations`` was exhausted.  Sets
-    ``_UNBOUNDED_FLAG`` when a column proves the LP unbounded.
+    those with entries ``> tol``); the last column is the RHS.  Returns
+    ``(outcome, iterations)`` where ``outcome`` is :class:`_Sweep` — an
+    explicit return code, so back-to-back (or concurrent) solves share no
+    mutable module state.  Optimality is checked *before* the iteration
+    budget, so an already-optimal tableau succeeds even with a budget of
+    zero (e.g. phase 1 consumed every iteration but phase 2 needs none).
     """
     m = tableau.shape[0] - 1
     iterations = 0
-    while iterations < max_iterations:
+    while True:
         # Bland: entering = smallest column index with negated reduced
         # cost > tol.
         obj_row = tableau[m, :n_cols]
         candidates = np.flatnonzero(obj_row > _TOL)
         if candidates.size == 0:
-            return iterations
+            return _Sweep.OPTIMAL, iterations
+        if iterations >= max_iterations:
+            return _Sweep.EXHAUSTED, iterations
         col = int(candidates[0])
         column = tableau[:m, col]
         positive = column > _TOL
         if not positive.any():
-            _UNBOUNDED_FLAG["hit"] = True
-            return iterations
+            return _Sweep.UNBOUNDED, iterations
         ratios = np.full(m, np.inf)
         ratios[positive] = tableau[:m, -1][positive] / column[positive]
         min_ratio = ratios.min()
@@ -194,7 +204,6 @@ def _run_simplex(
         _pivot(tableau, row, col)
         basis[row] = col
         iterations += 1
-    return -1
 
 
 def _pivot(tableau: np.ndarray, row: int, col: int) -> None:

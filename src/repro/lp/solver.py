@@ -15,6 +15,24 @@ Backends
     pure lower-bound computations where only the objective value matters.
 ``"auto"``
     ``highs-ds`` when a vertex is requested, else ``highs``.
+
+Backend selection
+-----------------
+Pick ``"simplex"`` only for small models (dense tableau, vertex
+guaranteed, used to cross-check HiGHS in property tests); ``"highs-ds"``
+whenever the caller needs a *basic* solution (iterative rounding);
+``"highs"`` for pure objective/feasibility queries, where HiGHS may use
+the interior-point method.  ``"auto"`` applies exactly that rule from
+the ``need_vertex`` flag.
+
+Repeated nearby solves — the ρ binary search of Figure 7, or repeated
+bound queries for one instance — should not call :func:`solve_lp` with a
+freshly built model each time.  Use the oracle path instead:
+:class:`repro.lp.bounds.LPBoundOracle` builds the time-constrained LP
+once and re-solves it under mutated ρ-dependent bounds, and the
+module-level helpers in :mod:`repro.lp.bounds` memoise finished bounds
+by canonical instance digest.  Every oracle query still lands here, so
+the backend semantics above apply unchanged.
 """
 
 from __future__ import annotations

@@ -19,7 +19,7 @@ from repro.core.greedy import greedy_earliest_fit
 from repro.core.instance import Instance
 from repro.core.metrics import max_response_time
 from repro.core.schedule import Schedule
-from repro.mrt.lp_relaxation import is_fractionally_feasible
+from repro.lp.bounds import LPBoundOracle
 from repro.mrt.rounding import RoundingResult, round_time_constrained
 from repro.mrt.time_constrained import (
     TimeConstrainedInstance,
@@ -84,19 +84,11 @@ def solve_mrt(
         greedy = greedy_earliest_fit(instance)
         rho_upper = max_response_time(greedy)
 
-    lp_solves = 0
-    lo, hi = 1, rho_upper
-    # Invariant: hi is fractionally feasible, lo - 1 is not (or lo == 1).
-    while lo < hi:
-        mid = (lo + hi) // 2
-        lp_solves += 1
-        if is_fractionally_feasible(
-            from_response_bound(instance, mid), backend=backend
-        ):
-            hi = mid
-        else:
-            lo = mid + 1
-    rho = lo
+    # The oracle builds LP (19)-(21) once at rho_upper; each search step
+    # only toggles the rho-dependent variable bounds before solving.
+    oracle = LPBoundOracle(instance, backend=backend, rho_cap=rho_upper)
+    rho = oracle.lower_bound()
+    lp_solves = oracle.solves
 
     rounding = round_time_constrained(
         from_response_bound(instance, rho), backend=backend
@@ -137,18 +129,15 @@ def fractional_mrt_lower_bound(
     backend: str = "auto",
     rho_upper: Optional[int] = None,
 ) -> int:
-    """Just the binary-searched LP lower bound ρ* (Figure 7 baseline)."""
+    """Just the binary-searched LP lower bound ρ* (Figure 7 baseline).
+
+    Delegates to :class:`repro.lp.bounds.LPBoundOracle`: the LP is built
+    once and only its ρ-dependent bounds change across the search, which
+    returns the same ρ* as the legacy rebuild-per-step loop.  Callers
+    that want in-process memoisation across repeated queries should use
+    :func:`repro.lp.bounds.mrt_lower_bound` instead.
+    """
     if instance.num_flows == 0:
         return 0
-    if rho_upper is None:
-        rho_upper = max_response_time(greedy_earliest_fit(instance))
-    lo, hi = 1, rho_upper
-    while lo < hi:
-        mid = (lo + hi) // 2
-        if is_fractionally_feasible(
-            from_response_bound(instance, mid), backend=backend
-        ):
-            hi = mid
-        else:
-            lo = mid + 1
-    return lo
+    oracle = LPBoundOracle(instance, backend=backend, rho_cap=rho_upper)
+    return oracle.lower_bound()

@@ -64,8 +64,9 @@ def simulate(
     policy:
         Decides, each round, which waiting flows to schedule.
     max_rounds:
-        Safety cap (default ``instance.horizon_bound() * 2``); exceeding
-        it raises ``RuntimeError`` (a policy that starves flows).
+        Safety cap: the policy gets at most ``max_rounds`` simulated
+        rounds (default ``2 * instance.horizon_bound() + 1``); needing
+        more raises ``RuntimeError`` (a policy that starves flows).
 
     Returns
     -------
@@ -78,7 +79,10 @@ def simulate(
             empty, ScheduleMetrics.of(empty), 0, np.zeros(0, dtype=np.int64)
         )
     if max_rounds is None:
-        max_rounds = 2 * instance.horizon_bound()
+        # The ``>=`` guard below grants exactly ``max_rounds`` rounds; the
+        # historical ``>`` comparison effectively granted one more, so the
+        # derived default keeps that allowance with ``+ 1``.
+        max_rounds = 2 * instance.horizon_bound() + 1
 
     by_release = instance.flows_by_release()
     switch = instance.switch
@@ -91,7 +95,7 @@ def simulate(
 
     t = 0
     while scheduled_count < n:
-        if t > max_rounds:
+        if t >= max_rounds:
             raise RuntimeError(
                 f"policy {policy.name} exceeded {max_rounds} rounds with "
                 f"{n - scheduled_count} flows unscheduled"

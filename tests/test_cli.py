@@ -172,6 +172,34 @@ class TestCommands:
         args = build_parser().parse_args(["fig7", "--quick", "--jobs", "2"])
         assert args.jobs == 2
 
+    def test_fig_cache_flags_parse(self):
+        args = build_parser().parse_args(
+            ["fig7", "--quick", "--cache-dir", "/tmp/c", "--resume"]
+        )
+        assert args.cache_dir == "/tmp/c" and args.resume and not args.no_cache
+
+    def test_fig_cache_flags_require_dir(self):
+        for flag in ("--resume", "--no-cache"):
+            with pytest.raises(SystemExit, match="require --cache-dir"):
+                main(["fig7", "--quick", flag])
+
+    def test_fig_resume_no_cache_exclusive(self):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["fig7", "--quick", "--cache-dir", "/tmp/c",
+                  "--resume", "--no-cache"])
+
+    def test_fig7_cache_dir_roundtrip(self, tmp_path, capsys):
+        from repro.lp.bounds import clear_bound_caches
+
+        cache = str(tmp_path / "cache")
+        assert main(["fig7", "--quick", "--cache-dir", cache]) == 0
+        first = capsys.readouterr().out
+        clear_bound_caches()
+        assert main(["fig7", "--quick", "--cache-dir", cache]) == 0
+        second = capsys.readouterr().out
+        assert first == second  # cache-warm rerun renders identically
+        assert list((tmp_path / "cache").glob("results-*.jsonl"))
+
     def test_module_invocation(self, trace):
         result = subprocess.run(
             [sys.executable, "-m", "repro", "simulate", str(trace)],

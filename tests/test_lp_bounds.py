@@ -1,0 +1,207 @@
+"""Tests for the warm LP-bound oracle subsystem (repro.lp.bounds)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.art.lp_relaxation import art_lp_lower_bound
+from repro.core.greedy import greedy_earliest_fit
+from repro.core.instance import Instance
+from repro.core.metrics import max_response_time
+from repro.core.switch import Switch
+from repro.lp.bounds import (
+    LPBoundOracle,
+    art_lower_bound,
+    cache_stats,
+    clear_bound_caches,
+    mrt_lower_bound,
+)
+from repro.mrt.algorithm import fractional_mrt_lower_bound
+from repro.mrt.lp_relaxation import is_fractionally_feasible
+from repro.mrt.time_constrained import from_response_bound
+from repro.utils.timing import Timer
+from repro.workloads.synthetic import poisson_uniform_workload
+from tests.conftest import capacitated_instances, unit_instances
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_bound_caches()
+    yield
+    clear_bound_caches()
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return poisson_uniform_workload(6, 5.0, 4, seed=3)
+
+
+class TestLPBoundOracle:
+    def test_single_build_many_queries(self, instance):
+        rho_upper = max_response_time(greedy_earliest_fit(instance))
+        oracle = LPBoundOracle(instance, rho_cap=rho_upper)
+        for rho in range(1, rho_upper + 1):
+            oracle.is_feasible(rho)
+        assert oracle.builds == 1
+        assert oracle.solves == rho_upper
+
+    def test_feasibility_matches_cold_build(self, instance):
+        rho_upper = max_response_time(greedy_earliest_fit(instance))
+        oracle = LPBoundOracle(instance, rho_cap=rho_upper)
+        for rho in range(1, rho_upper + 1):
+            assert oracle.is_feasible(rho) == is_fractionally_feasible(
+                from_response_bound(instance, rho)
+            )
+
+    def test_queries_are_memoised(self, instance):
+        oracle = LPBoundOracle(instance)
+        first = oracle.is_feasible(2)
+        solves = oracle.solves
+        assert oracle.is_feasible(2) == first
+        assert oracle.solves == solves
+
+    def test_greedy_cap_is_premarked_feasible(self, instance):
+        oracle = LPBoundOracle(instance)
+        assert oracle.is_feasible(oracle.rho_cap)
+        assert oracle.solves == 0  # certified by the greedy schedule
+
+    def test_lower_bound_matches_legacy_search(self, instance):
+        assert LPBoundOracle(instance).lower_bound() == (
+            fractional_mrt_lower_bound(instance)
+        )
+
+    def test_out_of_range_rho_rejected(self, instance):
+        oracle = LPBoundOracle(instance, rho_cap=3)
+        with pytest.raises(ValueError, match="exceeds"):
+            oracle.is_feasible(4)
+        with pytest.raises(ValueError, match="positive"):
+            oracle.is_feasible(0)
+
+    def test_empty_instance(self):
+        empty = Instance.create(Switch.create(2), [])
+        oracle = LPBoundOracle(empty)
+        assert oracle.lower_bound() == 0
+        assert oracle.is_feasible(1)
+        assert oracle.builds == 0
+
+    def test_timer_counts_build_and_solves(self, instance):
+        timer = Timer()
+        oracle = LPBoundOracle(instance, timer=timer)
+        oracle.lower_bound()
+        assert timer.counts["lp_bound_build"] == 1
+        assert timer.counts.get("lp_bound_solve", 0) == oracle.solves
+
+    # The autouse cache-reset fixture is function-scoped; the oracle under
+    # test is constructed fresh per example, so per-example reset is moot.
+    @given(unit_instances(max_ports=3, max_flows=6))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_property_matches_fresh_builds(self, inst):
+        if inst.num_flows == 0:
+            assert LPBoundOracle(inst).lower_bound() == 0
+            return
+        rho_upper = max_response_time(greedy_earliest_fit(inst))
+        oracle = LPBoundOracle(inst, rho_cap=rho_upper)
+        for rho in range(1, rho_upper + 1):
+            assert oracle.is_feasible(rho) == is_fractionally_feasible(
+                from_response_bound(inst, rho)
+            )
+        assert oracle.builds == 1
+
+    @given(capacitated_instances(max_ports=3, max_flows=5))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_property_lower_bound_equals_legacy(self, inst):
+        assert LPBoundOracle(inst).lower_bound() == (
+            fractional_mrt_lower_bound(inst)
+        )
+
+
+class TestDigestMemo:
+    def test_mrt_cache_hit(self, instance):
+        cold = mrt_lower_bound(instance)
+        before = cache_stats()
+        warm = mrt_lower_bound(instance)
+        after = cache_stats()
+        assert warm == cold
+        assert after["hits"] == before["hits"] + 1
+
+    def test_art_cache_hit_and_value(self, instance):
+        horizon = instance.compact_horizon_bound()
+        value = art_lower_bound(instance, horizon=horizon)
+        assert value == art_lp_lower_bound(instance, horizon=horizon)
+        before = cache_stats()
+        assert art_lower_bound(instance, horizon=horizon) == value
+        assert cache_stats()["hits"] == before["hits"] + 1
+
+    def test_distinct_params_distinct_entries(self, instance):
+        art_lower_bound(instance, horizon=instance.compact_horizon_bound())
+        art_lower_bound(instance, horizon=instance.horizon_bound())
+        assert cache_stats()["art_entries"] == 2
+
+    def test_clear_resets(self, instance):
+        mrt_lower_bound(instance)
+        clear_bound_caches()
+        stats = cache_stats()
+        assert stats == {
+            "hits": 0, "misses": 0, "mrt_entries": 0, "art_entries": 0,
+        }
+
+    def test_empty_instance_bounds(self):
+        empty = Instance.create(Switch.create(2), [])
+        assert mrt_lower_bound(empty) == 0
+        assert art_lower_bound(empty) == 0.0
+
+    def test_digest_distinguishes_instances(self):
+        a = poisson_uniform_workload(4, 3.0, 3, seed=1)
+        b = poisson_uniform_workload(4, 3.0, 3, seed=2)
+        assert a.digest() != b.digest()
+        # Same content => same digest, regardless of construction path.
+        clone = Instance.from_dict(a.to_dict())
+        assert clone.digest() == a.digest()
+
+    def test_cache_served_without_lp_work(self, instance):
+        mrt_lower_bound(instance)
+        timer = Timer()
+        mrt_lower_bound(instance, timer=timer)
+        assert timer.counts.get("lp_bound_build", 0) == 0
+        assert timer.counts.get("lp_bound_solve", 0) == 0
+
+    def test_memo_is_thread_safe(self):
+        # Concurrent lookups/insertions with a tiny CACHE_LIMIT force the
+        # check-then-mutate races the cache lock exists to prevent.
+        import threading
+
+        from repro.lp import bounds as bounds_module
+
+        instances = [
+            poisson_uniform_workload(3, 2.0, 2, seed=s) for s in range(6)
+        ]
+        expected = {i: mrt_lower_bound(inst) for i, inst in enumerate(instances)}
+        clear_bound_caches()
+        old_limit, bounds_module.CACHE_LIMIT = bounds_module.CACHE_LIMIT, 2
+        failures = []
+
+        def worker():
+            for _ in range(20):
+                for i, inst in enumerate(instances):
+                    try:
+                        if mrt_lower_bound(inst) != expected[i]:
+                            failures.append(i)
+                    except Exception as exc:  # KeyError under the old race
+                        failures.append(exc)
+
+        try:
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            bounds_module.CACHE_LIMIT = old_limit
+        assert failures == []

@@ -91,3 +91,42 @@ class TestConstraintsAndExport:
         lp = self._model()
         sol = lp.solution_by_name(np.array([1.5, 2.0]))
         assert sol == {"x": 1.5, "y": 2.0}
+
+
+class TestBoundMutation:
+    def _model(self):
+        lp = LinearProgram()
+        lp.add_variable("x", 1.0)
+        lp.add_variable("y", 2.0)
+        lp.add_constraint("c", {"x": 1.0, "y": 1.0}, Sense.LE, 4.0)
+        return lp
+
+    def test_set_bounds_by_name(self):
+        lp = self._model()
+        lp.set_bounds("x", 0.0, 0.0)
+        assert lp.bounds()[0] == (0.0, 0.0)
+        assert lp.bounds()[1] == (0.0, np.inf)
+
+    def test_set_upper_bounds_vectorized(self):
+        lp = self._model()
+        lp.set_upper_bounds(np.array([5.0, np.inf]))
+        assert lp.bounds() == [(0.0, 5.0), (0.0, np.inf)]
+        with pytest.raises(ValueError, match="upper bounds"):
+            lp.set_upper_bounds([1.0])
+
+    def test_scipy_matrices_memoised_across_bound_changes(self):
+        lp = self._model()
+        _, a_ub1, b_ub1, _, _ = lp.to_scipy_arrays()
+        lp.set_upper_bounds([0.0, 0.0])  # bounds don't touch the matrices
+        _, a_ub2, b_ub2, _, _ = lp.to_scipy_arrays()
+        assert a_ub2 is a_ub1 and b_ub2 is b_ub1
+
+    def test_scipy_matrices_invalidated_by_structure(self):
+        lp = self._model()
+        _, a_ub1, _, _, _ = lp.to_scipy_arrays()
+        lp.add_variable("z")
+        lp.add_constraint("c2", {"z": 1.0}, Sense.LE, 1.0)
+        _, a_ub2, b_ub2, _, _ = lp.to_scipy_arrays()
+        assert a_ub2 is not a_ub1
+        assert a_ub2.shape == (2, 3)
+        assert b_ub2.tolist() == [4.0, 1.0]

@@ -89,6 +89,107 @@ class TestSimplexBasics:
         assert (np.abs(res.x) > 1e-9).sum() <= 1
 
 
+class TestStatelessness:
+    """Regressions for the removed ``_UNBOUNDED_FLAG`` module global.
+
+    The old flag was set by ``_run_simplex`` and only cleared on one
+    return path of ``simplex_solve``, so an early return with the flag
+    set leaked UNBOUNDED into the *next* solve (and any concurrent one).
+    ``_run_simplex`` now returns an explicit status code.
+    """
+
+    UNBOUNDED_LP = (
+        np.array([[1.0, -1.0]]),
+        np.array([0.0]),
+        np.array([-1.0, 0.0]),
+    )
+    BOUNDED_LP = (
+        np.array([[1.0, 1.0]]),
+        np.array([3.0]),
+        np.array([1.0, 1.0]),
+    )
+
+    def test_module_flag_removed(self):
+        from repro.lp import simplex as simplex_module
+
+        assert not hasattr(simplex_module, "_UNBOUNDED_FLAG")
+
+    def test_back_to_back_solves_independent(self):
+        # Interleave unbounded and bounded solves: each result must be a
+        # pure function of its inputs, with no carried-over state.
+        for _ in range(3):
+            res = simplex_solve(*self.UNBOUNDED_LP)
+            assert res.status is LPStatus.UNBOUNDED
+            res = simplex_solve(*self.BOUNDED_LP)
+            assert res.status is LPStatus.OPTIMAL
+            assert res.objective == pytest.approx(3.0)
+
+    def test_infeasible_then_bounded(self):
+        infeasible = (np.array([[1.0]]), np.array([-1.0]), np.array([1.0]))
+        assert simplex_solve(*infeasible).status is LPStatus.INFEASIBLE
+        assert simplex_solve(*self.BOUNDED_LP).status is LPStatus.OPTIMAL
+
+    def test_thread_safety_mixed_solves(self):
+        # With the module flag, an unbounded solve in one thread could
+        # flip a concurrent bounded solve to UNBOUNDED.
+        import threading
+
+        failures = []
+
+        def bounded_worker():
+            for _ in range(50):
+                res = simplex_solve(*self.BOUNDED_LP)
+                if res.status is not LPStatus.OPTIMAL:
+                    failures.append(res.status)
+
+        def unbounded_worker():
+            for _ in range(50):
+                res = simplex_solve(*self.UNBOUNDED_LP)
+                if res.status is not LPStatus.UNBOUNDED:
+                    failures.append(res.status)
+
+        threads = [threading.Thread(target=bounded_worker) for _ in range(2)]
+        threads += [threading.Thread(target=unbounded_worker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert failures == []
+
+
+class TestIterationAccounting:
+    """Regressions for the phase-2 iteration-budget handoff."""
+
+    def test_phase2_with_zero_budget_still_optimal(self):
+        # Phase 1 needs exactly one pivot; a zero objective makes phase 2
+        # need none.  The old code handed phase 2 a budget of 0 and
+        # reported ERROR even though the tableau was already optimal.
+        A = np.array([[1.0, 1.0]])
+        b = np.array([3.0])
+        c = np.array([0.0, 0.0])
+        res = simplex_solve(A, b, c, max_iterations=1)
+        assert res.status is LPStatus.OPTIMAL
+        assert res.iterations == 1
+
+    def test_exhaustion_reports_true_iteration_count(self):
+        # Exhaust during phase 1: the reported count is the number of
+        # pivots actually performed, never a misleading constant.
+        A = np.array([[1.0, 1.0, 1.0, 0.0], [1.0, 2.0, 0.0, 1.0]])
+        b = np.array([4.0, 6.0])
+        c = np.array([-1.0, -1.0, 0.0, 0.0])
+        res = simplex_solve(A, b, c, max_iterations=1)
+        assert res.status is LPStatus.ERROR
+        assert res.iterations == 1
+
+    def test_large_budget_unchanged(self):
+        A = np.array([[1.0, 1.0, 1.0, 0.0], [1.0, 2.0, 0.0, 1.0]])
+        b = np.array([4.0, 6.0])
+        c = np.array([-1.0, -1.0, 0.0, 0.0])
+        res = simplex_solve(A, b, c)
+        assert res.status is LPStatus.OPTIMAL
+        assert 0 < res.iterations < 100
+
+
 @st.composite
 def random_lps(draw):
     """Random small LPs in equality standard form."""

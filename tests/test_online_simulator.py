@@ -71,6 +71,44 @@ class TestEngine:
         with pytest.raises(RuntimeError, match="exceeded"):
             simulate(inst, LazyPolicy(), max_rounds=5)
 
+    def test_max_rounds_is_exact(self):
+        # Regression for the off-by-one `t > max_rounds` guard: the
+        # policy gets exactly max_rounds rounds, not max_rounds + 1.
+        inst = Instance.create(Switch.create(2), [Flow(0, 0)])
+        calls = []
+
+        class CountingLazyPolicy(OnlinePolicy):
+            name = "CountingLazy"
+
+            def select(self, t, waiting, instance):
+                calls.append(t)
+                return []
+
+        with pytest.raises(RuntimeError, match="exceeded 5 rounds"):
+            simulate(inst, CountingLazyPolicy(), max_rounds=5)
+        assert calls == [0, 1, 2, 3, 4]
+
+    def test_max_rounds_boundary_success_and_failure(self):
+        # Three same-port unit flows need exactly 3 FIFO rounds: a cap of
+        # 3 must succeed and a cap of 2 must raise.  The old `>` guard
+        # silently granted the third round under max_rounds=2.
+        inst = Instance.create(
+            Switch.create(2), [Flow(0, 0), Flow(0, 0), Flow(0, 0)]
+        )
+        res = simulate(inst, FifoPolicy(), max_rounds=3)
+        assert res.rounds == 3
+        with pytest.raises(RuntimeError, match="exceeded 2 rounds"):
+            simulate(inst, FifoPolicy(), max_rounds=2)
+
+    def test_default_cap_allows_full_horizon(self):
+        # The derived default must not shrink with the tightened guard:
+        # a full-horizon FIFO run still completes without a cap.
+        inst = Instance.create(
+            Switch.create(2), [Flow(0, 0), Flow(0, 0), Flow(0, 0, 1, 2)]
+        )
+        res = simulate(inst, FifoPolicy())
+        assert res.rounds <= 2 * inst.horizon_bound() + 1
+
     def test_duplicate_selection_caught(self):
         inst = Instance.create(Switch.create(2, 2, 2), [Flow(0, 0)])
         with pytest.raises(ScheduleError, match="twice"):

@@ -95,7 +95,9 @@ class ARTSolver(SolverAdapter):
         compute_lower_bound: bool = True,
     ) -> SolveReport:
         from repro.art.algorithm import solve_art
+        from repro.utils.timing import Timer
 
+        timer = Timer()
         res = solve_art(
             instance,
             c=c,
@@ -103,6 +105,7 @@ class ARTSolver(SolverAdapter):
             horizon=horizon,
             backend=backend,
             compute_lower_bound=compute_lower_bound,
+            timer=timer,
         )
         lower = {}
         if res.lower_bound is not None:
@@ -113,6 +116,7 @@ class ARTSolver(SolverAdapter):
             metrics=ScheduleMetrics.of(res.schedule),
             schedule=res.schedule,
             lower_bounds=lower,
+            timings=dict(timer.totals),
             params={
                 "c": c,
                 "window": window,
@@ -263,15 +267,19 @@ class AMRTSolver(SolverAdapter):
         max_rho: Optional[int] = None,
     ) -> SolveReport:
         from repro.online.amrt import run_amrt
+        from repro.utils.timing import Timer
 
+        timer = Timer()
         res = run_amrt(
-            instance, initial_rho=initial_rho, backend=backend, max_rho=max_rho
+            instance, initial_rho=initial_rho, backend=backend,
+            max_rho=max_rho, timer=timer,
         )
         return SolveReport(
             solver=self.name,
             kind=self.kind,
             metrics=res.metrics,
             schedule=res.schedule,
+            timings=dict(timer.totals),
             params={
                 "initial_rho": initial_rho,
                 "backend": backend,
@@ -300,12 +308,19 @@ class PolicySolver(SolverAdapter):
     def _solve(
         self, instance: Instance, max_rounds: Optional[int] = None
     ) -> SolveReport:
-        sim = simulate(instance, make_policy(self.name), max_rounds=max_rounds)
+        from repro.utils.timing import Timer
+
+        timer = Timer()
+        sim = simulate(
+            instance, make_policy(self.name), max_rounds=max_rounds,
+            timer=timer,
+        )
         return SolveReport(
             solver=self.name,
             kind=self.kind,
             metrics=sim.metrics,
             schedule=sim.schedule,
+            timings=dict(timer.totals),
             params={"max_rounds": max_rounds},
             extras={
                 "rounds": sim.rounds,
@@ -314,6 +329,7 @@ class PolicySolver(SolverAdapter):
                     if sim.queue_history.size
                     else 0
                 ),
+                "sim_stats": {k: int(v) for k, v in sim.stats.items()},
             },
         )
 
@@ -331,18 +347,27 @@ class CoflowPolicySolver(SolverAdapter):
         return _first_doc_line(COFLOW_POLICY_REGISTRY[self.name])
 
     def _solve(self, instance: CoflowInstance) -> SolveReport:
+        from repro.utils.timing import Timer
+
         if not isinstance(instance, CoflowInstance):
             raise TypeError(
                 f"coflow solver {self.name!r} needs a CoflowInstance, "
                 f"got {type(instance).__name__}"
             )
-        res = simulate_coflows(instance, make_coflow_policy(self.name, instance))
+        timer = Timer()
+        res = simulate_coflows(
+            instance, make_coflow_policy(self.name, instance), timer=timer
+        )
         return SolveReport(
             solver=self.name,
             kind=self.kind,
             metrics=res.flow_metrics,
             schedule=res.schedule,
-            extras={"coflow_metrics": asdict(res.coflow_metrics)},
+            timings=dict(timer.totals),
+            extras={
+                "coflow_metrics": asdict(res.coflow_metrics),
+                "sim_stats": {k: int(v) for k, v in res.stats.items()},
+            },
         )
 
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -81,6 +81,7 @@ def pseudo_to_schedule(
     pseudo: PseudoSchedule,
     c: int = 1,
     window: Optional[int] = None,
+    timer=None,
 ) -> ConversionResult:
     """Apply the Theorem 1 conversion with augmentation parameter ``c``.
 
@@ -93,6 +94,9 @@ def pseudo_to_schedule(
         ``1 + c``); used only to derive the default window length.
     window:
         Override the window length ``h``.
+    timer:
+        Optional :class:`repro.utils.timing.Timer`; each window's König
+        decomposition is recorded as a ``coloring`` event.
 
     Returns
     -------
@@ -108,24 +112,32 @@ def pseudo_to_schedule(
     if h < 1:
         raise ValueError(f"window must be >= 1, got {window}")
 
-    # Bucket flows by pseudo-window.
-    windows: Dict[int, List[int]] = {}
-    for fid, t in enumerate(pseudo.assignment):
-        windows.setdefault(int(t) // h, []).append(fid)
+    # Bucket flows by pseudo-window (vectorized: one stable sort, split at
+    # window boundaries; fids stay ascending within a window).
+    pseudo_assignment = np.asarray(pseudo.assignment, dtype=np.int64)
+    window_of = pseudo_assignment // h
+    order = np.argsort(window_of, kind="stable")
+    uniq_windows, starts = np.unique(window_of[order], return_index=True)
+    ends = np.append(starts[1:], n)
 
     switch = inst.switch
+    srcs, dsts = inst.srcs(), inst.dsts()
     assignment = np.full(n, -1, dtype=np.int64)
     max_delta = 0
-    for w_idx in sorted(windows):
-        fids = windows[w_idx]
+    for w_idx, s, e in zip(
+        uniq_windows.tolist(), starts.tolist(), ends.tolist()
+    ):
+        fids = order[s:e]
         graph = BipartiteMultigraph(switch.num_inputs, switch.num_outputs)
-        for fid in fids:
-            flow = inst.flows[fid]
-            graph.add_edge(flow.src, flow.dst, payload=fid)
+        graph.add_edges(srcs[fids], dsts[fids], fids)
         replicated, edge_map = replicate_ports(
             graph, switch.input_capacities, switch.output_capacities
         )
-        replica_classes = decompose_into_matchings(replicated)
+        if timer is not None:
+            with timer.measure("coloring"):
+                replica_classes = decompose_into_matchings(replicated)
+        else:
+            replica_classes = decompose_into_matchings(replicated)
         classes = project_coloring(edge_map, replica_classes)
         delta = len(classes)
         max_delta = max(max_delta, delta)
@@ -133,13 +145,13 @@ def pseudo_to_schedule(
         per_round = math.ceil(delta / h) if delta else 0
         base = (w_idx + 1) * h
         for k, cls in enumerate(classes):
-            t_emit = base + (k // per_round)
-            for eid in cls:
-                assignment[graph.payloads[eid]] = t_emit
+            assignment[fids[np.asarray(cls, dtype=np.int64)]] = base + (
+                k // per_round
+            )
 
     schedule = Schedule(inst, assignment)
     capacity_factor = _achieved_factor(schedule)
-    extra_delay = int((assignment - pseudo.assignment).max())
+    extra_delay = int((assignment - pseudo_assignment).max())
     return ConversionResult(schedule, h, capacity_factor, max_delta, extra_delay)
 
 

@@ -29,8 +29,24 @@ from repro.core.instance import Instance
 from repro.online.policies import OnlinePolicy
 
 
+def _defining_class(cls, name):
+    """The class in ``cls``'s MRO whose ``__dict__`` defines ``name``."""
+    for klass in cls.__mro__:
+        if name in klass.__dict__:
+            return klass
+    return None
+
+
 class _CoflowOrderedPolicy(OnlinePolicy):
-    """Greedy packing by a per-round co-flow priority (lower = first)."""
+    """Greedy packing by a per-round co-flow priority (lower = first).
+
+    Implements both the classic dict interface and the simulator's array
+    fast path: priorities are computed vectorized over the waiting-flow
+    arrays, flows sorted with one ``np.lexsort`` on the same
+    ``(priority, cid, fid)`` key the dict path uses, and the greedy
+    packing loop runs over plain int lists — identical selections at a
+    fraction of the per-round cost on deep queues.
+    """
 
     name = "coflow-ordered"
 
@@ -41,6 +57,12 @@ class _CoflowOrderedPolicy(OnlinePolicy):
         self, t: int, waiting: Dict[int, Flow]
     ) -> Dict[int, float]:
         """Return ``{cid: priority}`` for co-flows with waiting flows."""
+        raise NotImplementedError
+
+    def _coflow_priorities_fast(
+        self, t: int, fids: np.ndarray, queue
+    ) -> np.ndarray:
+        """Priority per co-flow id (full vector; only waiting cids used)."""
         raise NotImplementedError
 
     def select(self, t, waiting, instance):
@@ -65,6 +87,40 @@ class _CoflowOrderedPolicy(OnlinePolicy):
                 out_res[flow.dst] -= flow.demand
                 chosen.append(flow.fid)
         return chosen
+
+    def select_fast(self, t, queue, instance):
+        # Fast path only when the subclass provides vectorized priorities
+        # of its own, paired with (defined by the same class as) its
+        # dict-path priorities, and left the packing loop untouched.  A
+        # subclass re-defining only `_coflow_priorities` falls back to the
+        # dict interface it customized.
+        cls = type(self)
+        if (
+            cls.select is not _CoflowOrderedPolicy.select
+            or cls._coflow_priorities_fast
+            is _CoflowOrderedPolicy._coflow_priorities_fast
+            or _defining_class(cls, "_coflow_priorities")
+            is not _defining_class(cls, "_coflow_priorities_fast")
+        ):
+            return None
+        fids = queue.alive_fids()
+        cids = self._cf.coflow_of[fids]
+        prio = self._coflow_priorities_fast(t, fids, queue)
+        order = np.lexsort((fids, cids, prio[cids]))
+        srcs = queue.srcs[fids].tolist()
+        dsts = queue.dsts[fids].tolist()
+        demands = queue.demands[fids].tolist()
+        fid_list = fids.tolist()
+        in_res = instance.switch.input_capacities.tolist()
+        out_res = instance.switch.output_capacities.tolist()
+        chosen: List[int] = []
+        for idx in order.tolist():
+            s, d, dem = srcs[idx], dsts[idx], demands[idx]
+            if in_res[s] >= dem and out_res[d] >= dem:
+                in_res[s] -= dem
+                out_res[d] -= dem
+                chosen.append(fid_list[idx])
+        return np.asarray(chosen, dtype=np.int64)
 
 
 class CoflowSebfPolicy(_CoflowOrderedPolicy):
@@ -99,6 +155,32 @@ class CoflowSebfPolicy(_CoflowOrderedPolicy):
             priorities[cid] = max(priorities.get(cid, 0.0), val)
         return priorities
 
+    def _coflow_priorities_fast(self, t, fids, queue):
+        # Same max-over-ports of load/capacity, via two bincounts over
+        # (cid, port) keys instead of per-flow dict updates.  The maxima
+        # run over the same float values, so ties and results match the
+        # dict path exactly.
+        cf = self._cf
+        switch = cf.switch
+        n_cf = cf.num_coflows
+        cids = cf.coflow_of[fids]
+        demands = queue.demands[fids]
+        m_in = switch.num_inputs
+        m_out = switch.num_outputs
+        in_load = np.bincount(
+            cids * m_in + queue.srcs[fids],
+            weights=demands,
+            minlength=n_cf * m_in,
+        ).reshape(n_cf, m_in)
+        out_load = np.bincount(
+            cids * m_out + queue.dsts[fids],
+            weights=demands,
+            minlength=n_cf * m_out,
+        ).reshape(n_cf, m_out)
+        prio_in = (in_load / switch.input_capacities).max(axis=1)
+        prio_out = (out_load / switch.output_capacities).max(axis=1)
+        return np.maximum(prio_in, prio_out)
+
 
 class CoflowFifoPolicy(_CoflowOrderedPolicy):
     """First-released co-flow first (head-of-line discipline)."""
@@ -112,6 +194,9 @@ class CoflowFifoPolicy(_CoflowOrderedPolicy):
             )
             for f in waiting.values()
         }
+
+    def _coflow_priorities_fast(self, t, fids, queue):
+        return self._cf.releases().astype(np.float64)
 
 
 #: Name → constructor (taking the CoflowInstance) registry.

@@ -6,7 +6,8 @@ online simulator and reports metrics at both granularities.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 from repro.coflow.metrics import CoflowMetrics
 from repro.coflow.model import CoflowInstance
@@ -14,6 +15,7 @@ from repro.core.metrics import ScheduleMetrics
 from repro.core.schedule import Schedule
 from repro.online.policies import OnlinePolicy
 from repro.online.simulator import simulate
+from repro.utils.timing import Timer
 
 
 @dataclass(frozen=True)
@@ -23,15 +25,23 @@ class CoflowSimulationResult:
     schedule: Schedule
     flow_metrics: ScheduleMetrics
     coflow_metrics: CoflowMetrics
+    stats: Dict[str, int] = field(default_factory=dict, repr=False)
 
 
 def simulate_coflows(
-    cf: CoflowInstance, policy: OnlinePolicy
+    cf: CoflowInstance,
+    policy: OnlinePolicy,
+    timer: Optional[Timer] = None,
 ) -> CoflowSimulationResult:
-    """Simulate ``policy`` on the flattened instance of ``cf``."""
-    result = simulate(cf.instance, policy)
+    """Simulate ``policy`` on the flattened instance of ``cf``.
+
+    ``timer`` is forwarded to :func:`repro.online.simulator.simulate`
+    (per-round ``sim_round`` events and any policy-level events).
+    """
+    result = simulate(cf.instance, policy, timer=timer)
     return CoflowSimulationResult(
         schedule=result.schedule,
         flow_metrics=result.metrics,
         coflow_metrics=CoflowMetrics.of(cf, result.schedule),
+        stats=result.stats,
     )

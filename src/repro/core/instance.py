@@ -91,25 +91,42 @@ class Instance:
     # Vectorized views (NumPy arrays indexed by fid)
     # ------------------------------------------------------------------
 
+    def _vectors(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Memoized (srcs, dsts, demands, releases) arrays.
+
+        The instance is frozen, so the arrays can never go stale; hot
+        callers (the online simulator builds its queue state from them on
+        every run) skip the per-flow attribute walk after the first call.
+        """
+        cached = getattr(self, "_vector_cache", None)
+        if cached is None:
+            n = len(self)
+            cached = (
+                np.fromiter((f.src for f in self.flows), dtype=np.int64, count=n),
+                np.fromiter((f.dst for f in self.flows), dtype=np.int64, count=n),
+                np.fromiter((f.demand for f in self.flows), dtype=np.int64, count=n),
+                np.fromiter((f.release for f in self.flows), dtype=np.int64, count=n),
+            )
+            for arr in cached:
+                arr.flags.writeable = False
+            object.__setattr__(self, "_vector_cache", cached)
+        return cached
+
     def srcs(self) -> np.ndarray:
         """Input-port index per flow."""
-        return np.fromiter((f.src for f in self.flows), dtype=np.int64, count=len(self))
+        return self._vectors()[0]
 
     def dsts(self) -> np.ndarray:
         """Output-port index per flow."""
-        return np.fromiter((f.dst for f in self.flows), dtype=np.int64, count=len(self))
+        return self._vectors()[1]
 
     def demands(self) -> np.ndarray:
         """Demand per flow."""
-        return np.fromiter(
-            (f.demand for f in self.flows), dtype=np.int64, count=len(self)
-        )
+        return self._vectors()[2]
 
     def releases(self) -> np.ndarray:
         """Release round per flow."""
-        return np.fromiter(
-            (f.release for f in self.flows), dtype=np.int64, count=len(self)
-        )
+        return self._vectors()[3]
 
     # ------------------------------------------------------------------
     # Derived quantities

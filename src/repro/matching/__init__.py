@@ -17,8 +17,12 @@ from scratch:
   b-matchings to matchings used in the general-capacity case of Theorem 1.
 """
 
-from repro.matching.bipartite import BipartiteMultigraph
-from repro.matching.hopcroft_karp import max_cardinality_matching
+from repro.matching.bipartite import BipartiteMultigraph, EdgeView
+from repro.matching.hopcroft_karp import (
+    max_cardinality_matching,
+    max_cardinality_matching_adjacency,
+    max_cardinality_matching_arrays,
+)
 from repro.matching.weight_matching import max_weight_matching
 from repro.matching.edge_coloring import edge_color_bipartite
 from repro.matching.bvn import decompose_into_matchings
@@ -34,7 +38,10 @@ __all__ = [
     "is_vertex_cover",
     "certify_maximum_matching",
     "BipartiteMultigraph",
+    "EdgeView",
     "max_cardinality_matching",
+    "max_cardinality_matching_adjacency",
+    "max_cardinality_matching_arrays",
     "max_weight_matching",
     "edge_color_bipartite",
     "decompose_into_matchings",

@@ -57,17 +57,35 @@ def replicate_ports(
     left_offset = np.concatenate([[0], np.cumsum(left_caps)])
     right_offset = np.concatenate([[0], np.cumsum(right_caps)])
     replicated = BipartiteMultigraph(int(left_offset[-1]), int(right_offset[-1]))
-
-    left_next = np.zeros(graph.n_left, dtype=np.int64)
-    right_next = np.zeros(graph.n_right, dtype=np.int64)
     edge_map = np.arange(graph.n_edges, dtype=np.int64)
-    for eid, (u, v) in enumerate(graph.edges):
-        cu = int(left_offset[u] + left_next[u])
-        cv = int(right_offset[v] + right_next[v])
-        left_next[u] = (left_next[u] + 1) % left_caps[u]
-        right_next[v] = (right_next[v] + 1) % right_caps[v]
-        replicated.add_edge(cu, cv, graph.payloads[eid])
+    if graph.n_edges == 0:
+        return replicated, edge_map
+
+    # Vectorized round-robin: the i-th edge incident on a vertex (in edge
+    # order) goes to replica ``i mod c``.  The occurrence rank within each
+    # vertex group falls out of a stable sort by endpoint.
+    src, dst = graph.src, graph.dst
+    replicated._append_unchecked(
+        left_offset[src] + _occurrence_rank(src, graph.n_left) % left_caps[src],
+        right_offset[dst]
+        + _occurrence_rank(dst, graph.n_right) % right_caps[dst],
+        graph.payloads,
+    )
     return replicated, edge_map
+
+
+def _occurrence_rank(keys: np.ndarray, n_vertices: int) -> np.ndarray:
+    """``rank[i]`` = how many earlier edges share ``keys[i]`` (0-based)."""
+    order = np.argsort(keys, kind="stable")
+    counts = np.bincount(keys, minlength=n_vertices)
+    group_starts = np.zeros(n_vertices, dtype=np.int64)
+    np.cumsum(counts[:-1], out=group_starts[1:])
+    rank_sorted = np.arange(keys.size, dtype=np.int64) - np.repeat(
+        group_starts, counts
+    )
+    rank = np.empty(keys.size, dtype=np.int64)
+    rank[order] = rank_sorted
+    return rank
 
 
 def project_coloring(

@@ -6,21 +6,80 @@ of the Birkhoff–von Neumann step in Theorem 1 of the paper: a combined
 window graph of degree ``d`` decomposes into ``d`` matchings, which are
 then executed in the window's rounds.
 
-Algorithm (classical alternating-path recoloring, ``O(V E)``):
-process edges one at a time; for edge ``(u, v)`` pick a color ``alpha``
-free at ``u`` and ``beta`` free at ``v``.  If some color is free at both,
-use it.  Otherwise flip the alternating ``alpha``/``beta`` path starting at
-``v``; in a bipartite graph this path cannot end at ``u``, so after the
-flip ``alpha`` is free at both endpoints.
+Algorithm (classical alternating-path recoloring, ``O(V E)`` worst case):
+process edges one at a time; for edge ``(u, v)`` pick the **lowest** color
+``alpha`` free at ``u`` and lowest ``beta`` free at ``v``.  If some color
+is free at both, use it.  Otherwise flip the alternating ``alpha``/``beta``
+path starting at ``v``; in a bipartite graph this path cannot end at ``u``,
+so after the flip ``alpha`` is free at both endpoints.
+
+Free-color lookup is O(log Δ) amortized instead of the seed's O(Δ) scan:
+each vertex keeps a *never-used frontier* (colors at or above it have
+never been allocated at that vertex, so the frontier itself is always a
+free candidate) plus a min-heap of colors freed by path flips below the
+frontier.  The reported color is still the minimum free color — the
+tie-breaking rule is unchanged, so colorings are identical to the seed
+implementation edge for edge.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Dict, List
 
 import numpy as np
 
 from repro.matching.bipartite import BipartiteMultigraph
+
+
+class _FreeColorTracker:
+    """Lowest-free-color bookkeeping for one side of the graph.
+
+    ``slots[vertex][color]`` is the edge id using ``color`` at ``vertex``
+    (-1 when free).  Invariant: every *free* color strictly below a
+    vertex's never-used frontier is present in that vertex's heap (it got
+    there via :meth:`clear`); colors at or above the frontier have never
+    been allocated through :meth:`first_free`, so the frontier — advanced
+    lazily past colors consumed by direct flip re-registration — is the
+    smallest free candidate outside the heap.  ``first_free`` is a pure
+    query (peek): stale heap entries (freed, then re-used by a flip) are
+    dropped lazily.
+    """
+
+    __slots__ = ("slots", "_heaps", "_frontier", "_delta")
+
+    def __init__(self, n_vertices: int, delta: int):
+        self.slots: List[List[int]] = [[-1] * delta for _ in range(n_vertices)]
+        self._heaps: List[List[int]] = [[] for _ in range(n_vertices)]
+        self._frontier: List[int] = [0] * n_vertices
+        self._delta = delta
+
+    def first_free(self, vertex: int) -> int:
+        """The smallest color free at ``vertex`` (must exist: deg < Δ)."""
+        slots = self.slots[vertex]
+        heap = self._heaps[vertex]
+        while heap and slots[heap[0]] != -1:
+            heappop(heap)  # stale: freed earlier, re-used by a flip
+        nv = self._frontier[vertex]
+        top = heap[0] if heap else self._delta
+        while nv < top and nv < self._delta and slots[nv] != -1:
+            nv += 1  # consumed by a flip without a first_free call
+        self._frontier[vertex] = nv
+        if top < nv:
+            return top
+        if nv >= self._delta:
+            raise AssertionError("degree exceeded Delta — graph mutated?")
+        return nv
+
+    def set(self, vertex: int, color: int, eid: int) -> None:
+        """Register ``eid`` as the ``color`` edge at ``vertex``."""
+        self.slots[vertex][color] = eid
+
+    def clear(self, vertex: int, color: int) -> None:
+        """Free ``color`` at ``vertex`` (path flip un-registration)."""
+        self.slots[vertex][color] = -1
+        if color < self._frontier[vertex]:
+            heappush(self._heaps[vertex], color)
 
 
 def edge_color_bipartite(graph: BipartiteMultigraph) -> np.ndarray:
@@ -38,49 +97,48 @@ def edge_color_bipartite(graph: BipartiteMultigraph) -> np.ndarray:
     if n_edges == 0:
         return colors
 
-    # slot[side][vertex][color] = edge id using `color` at `vertex`, or -1.
-    left_slot: List[List[int]] = [[-1] * delta for _ in range(graph.n_left)]
-    right_slot: List[List[int]] = [[-1] * delta for _ in range(graph.n_right)]
+    src = graph.src.tolist()
+    dst = graph.dst.tolist()
+    out: List[int] = [-1] * n_edges
 
-    def first_free(slots: List[int]) -> int:
-        for c, eid in enumerate(slots):
-            if eid == -1:
-                return c
-        raise AssertionError("degree exceeded Delta — graph mutated?")
+    left = _FreeColorTracker(graph.n_left, delta)
+    right = _FreeColorTracker(graph.n_right, delta)
 
-    for eid, (u, v) in enumerate(graph.edges):
-        alpha = first_free(left_slot[u])
-        beta = first_free(right_slot[v])
-        if left_slot[u][beta] == -1:
+    for eid in range(n_edges):
+        u = src[eid]
+        v = dst[eid]
+        alpha = left.first_free(u)
+        beta = right.first_free(v)
+        if left.slots[u][beta] == -1:
             # beta free at both endpoints.
-            colors[eid] = beta
-            left_slot[u][beta] = eid
-            right_slot[v][beta] = eid
+            out[eid] = beta
+            left.set(u, beta, eid)
+            right.set(v, beta, eid)
             continue
-        if right_slot[v][alpha] == -1:
-            colors[eid] = alpha
-            left_slot[u][alpha] = eid
-            right_slot[v][alpha] = eid
+        if right.slots[v][alpha] == -1:
+            out[eid] = alpha
+            left.set(u, alpha, eid)
+            right.set(v, alpha, eid)
             continue
         # Flip the alpha/beta alternating path starting from v along alpha.
         # Invariant: alpha free at u, beta free at v; path starts with the
         # alpha-colored edge at v and alternates beta, alpha, ...
-        _flip_alternating_path(
-            graph, colors, left_slot, right_slot, v, alpha, beta
-        )
+        _flip_alternating_path(src, dst, out, left, right, v, alpha, beta)
         # Now alpha is free at v as well (its alpha edge was recolored).
-        colors[eid] = alpha
-        left_slot[u][alpha] = eid
-        right_slot[v][alpha] = eid
+        out[eid] = alpha
+        left.set(u, alpha, eid)
+        right.set(v, alpha, eid)
 
+    colors[:] = out
     return colors
 
 
 def _flip_alternating_path(
-    graph: BipartiteMultigraph,
-    colors: np.ndarray,
-    left_slot: List[List[int]],
-    right_slot: List[List[int]],
+    src: List[int],
+    dst: List[int],
+    colors: List[int],
+    left: _FreeColorTracker,
+    right: _FreeColorTracker,
     start_right: int,
     alpha: int,
     beta: int,
@@ -99,49 +157,54 @@ def _flip_alternating_path(
     vertex = start_right
     color = alpha
     while True:
-        slots = right_slot[vertex] if side_right else left_slot[vertex]
+        slots = right.slots[vertex] if side_right else left.slots[vertex]
         eid = slots[color]
         if eid == -1:
             break
         path_edges.append(eid)
-        u2, v2 = graph.edges[eid]
-        vertex = u2 if side_right else v2
+        vertex = src[eid] if side_right else dst[eid]
         side_right = not side_right
         color = beta if color == alpha else alpha
 
     # Un-register every path edge, then re-register with swapped colors.
     for eid in path_edges:
-        u2, v2 = graph.edges[eid]
-        c = int(colors[eid])
-        left_slot[u2][c] = -1
-        right_slot[v2][c] = -1
+        c = colors[eid]
+        left.clear(src[eid], c)
+        right.clear(dst[eid], c)
     for eid in path_edges:
-        u2, v2 = graph.edges[eid]
-        c = int(colors[eid])
+        c = colors[eid]
         new_c = beta if c == alpha else alpha
         colors[eid] = new_c
-        left_slot[u2][new_c] = eid
-        right_slot[v2][new_c] = eid
+        left.set(src[eid], new_c, eid)
+        right.set(dst[eid], new_c, eid)
 
 
 def color_classes(graph: BipartiteMultigraph, colors: np.ndarray) -> Dict[int, List[int]]:
     """Group edge ids by color: ``{color: [eids]}`` (each class a matching)."""
     classes: Dict[int, List[int]] = {}
-    for eid in range(graph.n_edges):
-        classes.setdefault(int(colors[eid]), []).append(eid)
+    n = graph.n_edges
+    if n == 0:
+        return classes
+    colors = np.asarray(colors)
+    order = np.argsort(colors[:n], kind="stable")
+    uniq, starts = np.unique(colors[:n][order], return_index=True)
+    ends = np.append(starts[1:], order.size)
+    for c, s, e in zip(uniq.tolist(), starts.tolist(), ends.tolist()):
+        classes[int(c)] = order[s:e].tolist()
     return classes
 
 
 def is_proper_coloring(graph: BipartiteMultigraph, colors: np.ndarray) -> bool:
-    """Check that no vertex sees a repeated color."""
-    seen_left: Dict[tuple[int, int], int] = {}
-    seen_right: Dict[tuple[int, int], int] = {}
-    for eid, (u, v) in enumerate(graph.edges):
-        c = int(colors[eid])
-        if c < 0:
-            return False
-        if (u, c) in seen_left or (v, c) in seen_right:
-            return False
-        seen_left[(u, c)] = eid
-        seen_right[(v, c)] = eid
-    return True
+    """Check that no vertex sees a repeated color (vectorized)."""
+    n = graph.n_edges
+    colors = np.asarray(colors)[:n]
+    if n == 0:
+        return True
+    if (colors < 0).any():
+        return False
+    span = int(colors.max()) + 1
+    left_keys = graph.src * span + colors
+    right_keys = graph.dst * span + colors
+    return (
+        np.unique(left_keys).size == n and np.unique(right_keys).size == n
+    )

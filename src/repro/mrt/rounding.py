@@ -74,8 +74,14 @@ class RoundingResult:
 def round_time_constrained(
     tci: TimeConstrainedInstance,
     backend: str = "auto",
+    timer=None,
 ) -> RoundingResult:
-    """Round LP (19)–(21) to an integral schedule per Theorem 3."""
+    """Round LP (19)–(21) to an integral schedule per Theorem 3.
+
+    ``timer`` (an optional :class:`repro.utils.timing.Timer`) receives a
+    ``rounding_lp`` event per residual-LP solve, so callers (AMRT, the
+    FS-MRT adapter) can report where the wall-clock goes.
+    """
     inst = tci.instance
     n = inst.num_flows
     if n == 0:
@@ -175,7 +181,11 @@ def round_time_constrained(
             if coeffs:
                 lp.add_constraint(key, coeffs, Sense.LE, residual[key])
 
-        result = solve_lp(lp, backend=backend, need_vertex=True)
+        if timer is not None:
+            with timer.measure("rounding_lp"):
+                result = solve_lp(lp, backend=backend, need_vertex=True)
+        else:
+            result = solve_lp(lp, backend=backend, need_vertex=True)
         iterations += 1
         if not result.is_optimal:
             if iterations == 1:

@@ -11,7 +11,7 @@
   Figure 4 (Lemmas 5.1 and 5.2).
 """
 
-from repro.online.simulator import SimulationResult, simulate
+from repro.online.simulator import FlowQueue, SimulationResult, simulate
 from repro.online.policies import (
     FifoPolicy,
     MaxCardPolicy,
@@ -33,6 +33,7 @@ from repro.online.lower_bounds import (
 __all__ = [
     "simulate",
     "SimulationResult",
+    "FlowQueue",
     "OnlinePolicy",
     "MaxCardPolicy",
     "MinRTimePolicy",

@@ -62,8 +62,16 @@ def run_amrt(
     initial_rho: int = 1,
     backend: str = "auto",
     max_rho: int | None = None,
+    timer=None,
 ) -> AMRTResult:
     """Run the AMRT online batching algorithm over ``instance``.
+
+    The simulation is **event-driven**: nothing happens between batch
+    boundaries except arrivals accumulating, so the loop jumps from
+    boundary to boundary instead of walking every round (the seed's
+    round-by-round walk made sparse instances O(horizon) regardless of
+    batch count).  Behavior — committed batches, ρ increments, and the
+    divergence guards — is identical to the round-by-round walk.
 
     Parameters
     ----------
@@ -75,6 +83,10 @@ def run_amrt(
         LP backend for the offline subroutine.
     max_rho:
         Safety cap on the guess (default ``horizon_bound()``).
+    timer:
+        Optional :class:`repro.utils.timing.Timer`: each offline
+        feasibility attempt is recorded as an ``amrt_batch`` event and
+        the inner LP solves as ``rounding_lp`` events.
 
     Returns
     -------
@@ -87,38 +99,62 @@ def run_amrt(
     if max_rho is None:
         max_rho = instance.horizon_bound()
 
-    by_release = instance.flows_by_release()
+    # Arrivals sorted by (release, fid) — the order the seed's per-round
+    # walk appended them to `pending`.
+    releases = instance.releases()
+    arrival_order = np.argsort(releases, kind="stable")
+    arrival_releases = releases[arrival_order].tolist()
+    arrival_fids = arrival_order.tolist()
+    next_arrival = 0
+
     assignment = np.full(n, -1, dtype=np.int64)
     rho = int(initial_rho)
     pending: List[int] = []  # fids awaiting a feasible batch
     scheduled = 0
     batches = 0
+    guard_t = instance.horizon_bound() * 4
 
-    t = 0
-    next_boundary = 0
+    boundary = 0
+    last_boundary = -1  # so an immediately-violating ρ reports t=0
     while scheduled < n:
-        if t > instance.horizon_bound() * 4 or rho > max_rho:
+        # The seed checked its guards at the top of every round; the first
+        # violating round is the one after the offending boundary (for the
+        # ρ cap) or ``guard_t + 1`` (for the time cap).
+        if rho > max_rho:
             raise RuntimeError(
-                f"AMRT failed to converge (t={t}, rho={rho}); "
+                f"AMRT failed to converge (t={last_boundary + 1}, "
+                f"rho={rho}); max_rho too small?"
+            )
+        if boundary > guard_t:
+            raise RuntimeError(
+                f"AMRT failed to converge (t={guard_t + 1}, rho={rho}); "
                 "max_rho too small?"
             )
-        for flow in by_release.get(t, ()):
-            pending.append(flow.fid)
-        if t == next_boundary:
-            if pending:
+        while (
+            next_arrival < n and arrival_releases[next_arrival] <= boundary
+        ):
+            pending.append(arrival_fids[next_arrival])
+            next_arrival += 1
+        if pending:
+            if timer is not None:
+                with timer.measure("amrt_batch"):
+                    batch_sched = _try_schedule_batch(
+                        instance, pending, boundary, rho, backend, timer
+                    )
+            else:
                 batch_sched = _try_schedule_batch(
-                    instance, pending, t, rho, backend
+                    instance, pending, boundary, rho, backend, timer
                 )
-                if batch_sched is not None:
-                    for fid, round_ in batch_sched.items():
-                        assignment[fid] = round_
-                    scheduled += len(pending)
-                    pending = []
-                    batches += 1
-                else:
-                    rho += 1
-            next_boundary = t + rho
-        t += 1
+            if batch_sched is not None:
+                for fid, round_ in batch_sched.items():
+                    assignment[fid] = round_
+                scheduled += len(pending)
+                pending = []
+                batches += 1
+            else:
+                rho += 1
+        last_boundary = boundary
+        boundary += rho
 
     schedule = Schedule(instance, assignment)
     # The per-batch schedules use <= c_p + 2 d_max - 1 per port and at
@@ -139,6 +175,7 @@ def _try_schedule_batch(
     start: int,
     rho: int,
     backend: str,
+    timer=None,
 ) -> Dict[int, int] | None:
     """Offline subroutine of Lemma 5.3.
 
@@ -155,7 +192,7 @@ def _try_schedule_batch(
         tuple(range(f.release, f.release + rho)) for f in sub.flows
     )
     tci = TimeConstrainedInstance(sub, active)
-    result = round_time_constrained(tci, backend=backend)
+    result = round_time_constrained(tci, backend=backend, timer=timer)
     if not result.feasible or result.schedule is None:
         return None
     # Uniform shift preserves per-round loads; the earliest release in

@@ -16,18 +16,42 @@ algorithms from :mod:`repro.matching`.  For general capacities/demands
 each policy falls back to a greedy weight-ordered packing of the same
 edge weights (documented extension — the paper's experiments are all
 unit-capacity).
+
+Array fast path
+---------------
+Every built-in policy implements ``select_fast(t, queue, instance)``
+against the simulator's incremental :class:`~repro.online.simulator.
+FlowQueue`: weights are computed vectorized over the queue arrays, and
+the matching policies first **deduplicate parallel flows per port pair**
+(at most one copy of a pair can be matched; the kernels deterministically
+match the earliest-arrived copy), so the matching kernel runs on a graph
+bounded by ``m * m'`` edges regardless of queue depth.  The selections
+are identical to the seed's per-flow implementation — same flows, same
+rounds — the fast path only changes how they are computed.  Subclasses
+that override ``select`` or ``_weights`` automatically fall back to the
+classic dict interface (the fast path disables itself).
+
+``MaxCardPolicy(warm_start=True)`` additionally carries the matched port
+pairs over to the next round and repairs them instead of re-solving from
+an empty matching.  Warm starts change which maximum matching is chosen
+when several exist, so this mode is opt-in; the default remains
+byte-identical to the seed simulator.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from contextlib import nullcontext
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.flow import Flow
 from repro.core.instance import Instance
 from repro.matching.bipartite import BipartiteMultigraph
-from repro.matching.hopcroft_karp import max_cardinality_matching
+from repro.matching.hopcroft_karp import (
+    max_cardinality_matching,
+    max_cardinality_matching_adjacency,
+)
 from repro.matching.weight_matching import max_weight_matching
 
 
@@ -37,8 +61,19 @@ class OnlinePolicy:
     #: Display name used in experiment tables (overridden per subclass).
     name = "abstract"
 
+    #: Instrumentation sinks bound by the simulator (optional).
+    _timer = None
+    _stats: Optional[Dict[str, int]] = None
+    #: Lazily cached result of :meth:`_fast_path_safe` (per instance).
+    _fast_ok: Optional[bool] = None
+
     def reset(self, instance: Instance) -> None:
         """Called once before a simulation starts."""
+
+    def bind_runtime(self, timer, stats: Optional[Dict[str, int]]) -> None:
+        """Attach the simulator's timer/counter sinks (may be ``None``)."""
+        self._timer = timer
+        self._stats = stats
 
     def select(
         self, t: int, waiting: Dict[int, Flow], instance: Instance
@@ -46,8 +81,14 @@ class OnlinePolicy:
         """Return the fids to schedule in round ``t`` (must be feasible)."""
         raise NotImplementedError
 
+    def select_fast(
+        self, t: int, queue, instance: Instance
+    ) -> Optional[np.ndarray]:
+        """Array fast path; ``None`` defers to :meth:`select`."""
+        return None
+
     # ------------------------------------------------------------------
-    # Shared machinery
+    # Shared machinery (classic dict interface)
     # ------------------------------------------------------------------
 
     def _weights(
@@ -102,11 +143,135 @@ class OnlinePolicy:
             return self._select_matching(t, waiting, instance)
         return self._select_packing(t, waiting, instance)
 
+    # ------------------------------------------------------------------
+    # Shared machinery (array fast path)
+    # ------------------------------------------------------------------
+
+    def _measure(self, name: str):
+        return self._timer.measure(name) if self._timer is not None else nullcontext()
+
+    def _bump(self, name: str, k: int = 1) -> None:
+        if self._stats is not None:
+            self._stats[name] = self._stats.get(name, 0) + k
+
+    def _fast_path_safe(self, cls) -> bool:
+        """Fast path is valid only while the subclass didn't re-define any
+        of the classic hooks it mirrors — ``select`` / ``_weights`` of the
+        concrete policy, or the shared selection machinery
+        (``_select_packing`` / ``_select_matching`` / ``select_by_weight``
+        / ``_unit_case``).  A subclass customizing any of those gets the
+        dict interface it overrode.  Cached per instance (pure function of
+        the type)."""
+        ok = self._fast_ok
+        if ok is None:
+            t = type(self)
+            ok = (
+                t.select is cls.select
+                and t._weights is cls._weights
+                and t._select_packing is OnlinePolicy._select_packing
+                and t._select_matching is OnlinePolicy._select_matching
+                and t.select_by_weight is OnlinePolicy.select_by_weight
+                and t._unit_case is OnlinePolicy._unit_case
+            )
+            self._fast_ok = ok
+        return ok
+
+    def _weights_fast(
+        self, t: int, fids: np.ndarray, queue, instance: Instance
+    ) -> np.ndarray:
+        """Vectorized mirror of :meth:`_weights` over queue arrays."""
+        raise NotImplementedError
+
+    def _pair_weights(
+        self, t: int, heads: np.ndarray, queue, instance: Instance
+    ) -> np.ndarray:
+        """Weights of the per-pair representative flows (vectorized)."""
+        raise NotImplementedError
+
+    def _select_matching_fast(
+        self, t: int, queue, instance: Instance
+    ) -> np.ndarray:
+        """Max-weight matching over the queue's incremental pair view.
+
+        The pair representative (earliest-arrived copy) is exactly the
+        copy the seed's dense-matrix construction kept — the heaviest,
+        ties to the lowest edge id — because every built-in weight is
+        non-increasing in arrival time within a pair.  So the Hungarian
+        solve sees the same matrix and selects the same flows, at
+        O(#pairs) instead of O(queue) per round.
+        """
+        heads = queue.pair_heads()
+        w = self._pair_weights(t, heads, queue, instance)
+        us = queue.srcs[heads]
+        vs = queue.dsts[heads]
+        with self._measure("matching_solve"):
+            matching = max_weight_matching(
+                instance.switch.num_inputs,
+                instance.switch.num_outputs,
+                list(zip(us.tolist(), vs.tolist())),
+                w,
+            )
+        self._bump("matching_solves")
+        if not matching:
+            return np.empty(0, dtype=np.int64)
+        local = np.fromiter(matching.values(), dtype=np.int64, count=len(matching))
+        return heads[local]
+
+    def _select_packing_fast(
+        self, t: int, queue, instance: Instance
+    ) -> np.ndarray:
+        """Vectorized-weight greedy packing (loop only over the order)."""
+        fids = queue.alive_fids()
+        w = self._weights_fast(t, fids, queue, instance)
+        order = np.argsort(-w, kind="stable")
+        srcs = queue.srcs[fids].tolist()
+        dsts = queue.dsts[fids].tolist()
+        demands = queue.demands[fids].tolist()
+        weights = w.tolist()
+        fid_list = fids.tolist()
+        in_res = instance.switch.input_capacities.tolist()
+        out_res = instance.switch.output_capacities.tolist()
+        chosen: List[int] = []
+        for idx in order.tolist():
+            if weights[idx] <= 0:
+                continue
+            s, d, dem = srcs[idx], dsts[idx], demands[idx]
+            if in_res[s] >= dem and out_res[d] >= dem:
+                in_res[s] -= dem
+                out_res[d] -= dem
+                chosen.append(fid_list[idx])
+        return np.asarray(chosen, dtype=np.int64)
+
+    def _select_by_weight_fast(
+        self, t: int, queue, instance: Instance
+    ) -> np.ndarray:
+        if queue.unit_capacity:
+            return self._select_matching_fast(t, queue, instance)
+        return self._select_packing_fast(t, queue, instance)
+
 
 class MaxCardPolicy(OnlinePolicy):
-    """Maximum-cardinality matching each round (paper's MaxCard)."""
+    """Maximum-cardinality matching each round (paper's MaxCard).
+
+    Parameters
+    ----------
+    warm_start:
+        When True, the matched port pairs of the previous round seed the
+        next round's Hopcroft–Karp solve (pairs that still have waiting
+        flows are kept and repaired instead of re-derived).  The result
+        is still a maximum matching every round, but possibly a
+        *different* one than a cold solve when several exist — so this is
+        opt-in; the default is byte-identical to the seed simulator.
+    """
 
     name = "MaxCard"
+
+    def __init__(self, warm_start: bool = False):
+        self.warm_start = warm_start
+        self._prev_pairs: Dict[int, int] = {}
+
+    def reset(self, instance: Instance) -> None:
+        self._prev_pairs = {}
 
     def select(
         self, t: int, waiting: Dict[int, Flow], instance: Instance
@@ -123,8 +288,44 @@ class MaxCardPolicy(OnlinePolicy):
         matching = max_cardinality_matching(graph)
         return [graph.payloads[eid] for eid in matching.values()]
 
+    def select_fast(
+        self, t: int, queue, instance: Instance
+    ) -> Optional[np.ndarray]:
+        if not self._fast_path_safe(MaxCardPolicy):
+            return None
+        if not queue.unit_capacity:
+            return self._select_packing_fast(t, queue, instance)
+        adj_rows, head_rows = queue.pair_adjacency()
+        warm = None
+        if self.warm_start and self._prev_pairs:
+            warm = self._prev_pairs
+            self._bump("warm_start_seeds", len(warm))
+        with self._measure("matching_solve"):
+            matching = max_cardinality_matching_adjacency(
+                instance.switch.num_inputs,
+                instance.switch.num_outputs,
+                adj_rows,
+                head_rows,
+                warm_start=warm,
+                stats=self._stats,
+            )
+        self._bump("matching_solves")
+        if not matching:
+            return np.empty(0, dtype=np.int64)
+        chosen = np.fromiter(
+            matching.values(), dtype=np.int64, count=len(matching)
+        )
+        if self.warm_start:
+            self._prev_pairs = dict(
+                zip(matching.keys(), queue.dsts[chosen].tolist())
+            )
+        return chosen
+
     def _weights(self, t, flows, waiting):
         return np.ones(len(flows))
+
+    def _weights_fast(self, t, fids, queue, instance):
+        return np.ones(fids.size)
 
 
 class MinRTimePolicy(OnlinePolicy):
@@ -142,8 +343,22 @@ class MinRTimePolicy(OnlinePolicy):
     def select(self, t, waiting, instance):
         return self.select_by_weight(t, waiting, instance)
 
+    def select_fast(self, t, queue, instance):
+        if not self._fast_path_safe(MinRTimePolicy):
+            return None
+        return self._select_by_weight_fast(t, queue, instance)
+
     def _weights(self, t, flows, waiting):
         return np.asarray([t - f.release + 1 for f in flows], dtype=np.float64)
+
+    def _weights_fast(self, t, fids, queue, instance):
+        return (t - queue.releases[fids] + 1).astype(np.float64)
+
+    def _pair_weights(self, t, heads, queue, instance):
+        # The representative is the pair's oldest waiting flow, i.e. the
+        # heaviest copy under the age weight — matching the seed's
+        # keep-the-heaviest dedup rule.
+        return (t - queue.releases[heads] + 1).astype(np.float64)
 
 
 class MaxWeightPolicy(OnlinePolicy):
@@ -153,6 +368,11 @@ class MaxWeightPolicy(OnlinePolicy):
 
     def select(self, t, waiting, instance):
         return self.select_by_weight(t, waiting, instance)
+
+    def select_fast(self, t, queue, instance):
+        if not self._fast_path_safe(MaxWeightPolicy):
+            return None
+        return self._select_by_weight_fast(t, queue, instance)
 
     def _weights(self, t, flows, waiting):
         in_queue = np.zeros(max(f.src for f in flows) + 1, dtype=np.int64)
@@ -164,6 +384,19 @@ class MaxWeightPolicy(OnlinePolicy):
             [in_queue[f.src] + out_queue[f.dst] for f in flows],
             dtype=np.float64,
         )
+
+    def _weights_fast(self, t, fids, queue, instance):
+        us = queue.srcs[fids]
+        vs = queue.dsts[fids]
+        return (np.bincount(us)[us] + np.bincount(vs)[vs]).astype(np.float64)
+
+    def _pair_weights(self, t, heads, queue, instance):
+        # Queue-length weights are identical across a pair's copies, so
+        # the pair representative carries the pair's (unique) weight.
+        in_q, out_q = queue.port_queue_lengths()
+        return (
+            in_q[queue.srcs[heads]] + out_q[queue.dsts[heads]]
+        ).astype(np.float64)
 
 
 class RandomPolicy(OnlinePolicy):
@@ -186,9 +419,19 @@ class RandomPolicy(OnlinePolicy):
     def select(self, t, waiting, instance):
         return self._select_packing(t, waiting, instance)
 
+    def select_fast(self, t, queue, instance):
+        if not self._fast_path_safe(RandomPolicy):
+            return None
+        return self._select_packing_fast(t, queue, instance)
+
     def _weights(self, t, flows, waiting):
         # Random priorities in (0, 1]; packing keeps the result maximal.
         return self._rng.random(len(flows)) + 1e-9
+
+    def _weights_fast(self, t, fids, queue, instance):
+        # Same draw shape and order as the classic path: one vector of
+        # len(waiting) uniforms per round.
+        return self._rng.random(fids.size) + 1e-9
 
 
 class FifoPolicy(OnlinePolicy):
@@ -199,9 +442,17 @@ class FifoPolicy(OnlinePolicy):
     def select(self, t, waiting, instance):
         return self._select_packing(t, waiting, instance)
 
+    def select_fast(self, t, queue, instance):
+        if not self._fast_path_safe(FifoPolicy):
+            return None
+        return self._select_packing_fast(t, queue, instance)
+
     def _weights(self, t, flows, waiting):
         # Older flows get strictly larger weight; +1 keeps weights positive.
         return np.asarray([t - f.release + 1 for f in flows], dtype=np.float64)
+
+    def _weights_fast(self, t, fids, queue, instance):
+        return (t - queue.releases[fids] + 1).astype(np.float64)
 
 
 #: Name → constructor registry used by the experiment harness and CLI.

@@ -6,15 +6,40 @@ plugged-in policy extracts a feasible set (a matching, for unit
 capacities) which is assigned to run in window ``[t, t+1)``.  Queues are
 *open*: any waiting flow at a port may be selected, not just the head.
 
+``G_t`` is maintained **incrementally** in a :class:`FlowQueue`: arrivals
+append to flat arrays, scheduled flows are tombstoned, and the buffer is
+compacted once tombstones outnumber live entries.  On top of the flat
+arrays the queue keeps two incremental indices the matching policies
+consume directly:
+
+* a **pair view** — one FIFO of waiting flows per (src, dst) port pair,
+  with lazily popped tombstones.  The matching policies only ever need
+  one representative flow per pair (the earliest arrival: it is both the
+  copy the seed kernels deterministically matched and the heaviest copy
+  under the age/queue-length weights), so each round's matching problem
+  has at most ``m * m'`` edges regardless of queue depth, and assembling
+  it costs O(#pairs + churn), not O(queue).
+* **per-port waiting counts**, updated by ``np.bincount`` on arrivals and
+  removals (MaxWeight's edge weights).
+
+Policies that implement the array fast path (``select_fast``) read these
+structures; policies that only implement the classic ``select(t, waiting,
+instance)`` interface receive a waiting-flow dict materialized on demand
+(same insertion order as the seed's).
+
 The engine enforces feasibility (capacity and release constraints) on
-whatever the policy returns, so buggy policies fail loudly rather than
-producing invalid statistics.
+whatever the policy returns — now with one ``np.bincount`` per side
+instead of per-flow dict updates — so buggy policies fail loudly rather
+than producing invalid statistics.
 """
 
 from __future__ import annotations
 
+import time
+from bisect import bisect_left, insort
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -22,6 +47,285 @@ from repro.core.instance import Instance
 from repro.core.metrics import ScheduleMetrics
 from repro.core.schedule import Schedule, ScheduleError
 from repro.online.policies import OnlinePolicy
+from repro.utils.timing import Timer
+
+
+class FlowQueue:
+    """Array-backed incremental view of ``G_t`` (waiting flows).
+
+    Positions are arrival-ordered: arrivals append, scheduled flows are
+    tombstoned in place, and the buffer compacts (preserving order) once
+    dead entries outnumber live ones — identical iteration order to the
+    seed's insertion-ordered waiting dict, at O(churn) amortized cost per
+    round.
+
+    Attributes
+    ----------
+    srcs / dsts / demands / releases:
+        Fid-indexed instance attribute arrays (shared, read-only use).
+    compactions:
+        Number of compaction passes performed (exposed in simulation
+        stats).
+    """
+
+    __slots__ = (
+        "srcs",
+        "dsts",
+        "demands",
+        "releases",
+        "n_inputs",
+        "n_outputs",
+        "unit_capacity",
+        "_fids",
+        "_alive",
+        "_pos_of",
+        "_n_pos",
+        "_n_alive",
+        "_cache",
+        "_keys",
+        "_pairs",
+        "_head_arr",
+        "_adj_v",
+        "_adj_f",
+        "_adj_key",
+        "_key_mult",
+        "_rel_list",
+        "_waiting_set",
+        "_port_in",
+        "_port_out",
+        "compactions",
+    )
+
+    def __init__(self, instance: Instance):
+        n = instance.num_flows
+        self.srcs = instance.srcs()
+        self.dsts = instance.dsts()
+        self.demands = instance.demands()
+        self.releases = instance.releases()
+        self.n_inputs = instance.switch.num_inputs
+        self.n_outputs = instance.switch.num_outputs
+        self.unit_capacity = bool(instance.switch.is_unit_capacity)
+        self._fids = np.empty(n, dtype=np.int64)
+        self._alive = np.zeros(n, dtype=bool)
+        self._pos_of = np.full(n, -1, dtype=np.int64)
+        self._n_pos = 0
+        self._n_alive = 0
+        self._cache: Optional[np.ndarray] = None
+        self._keys: Optional[List[int]] = None
+        self._pairs: Optional[Dict[int, Deque[int]]] = None
+        self._head_arr: Optional[np.ndarray] = None
+        self._adj_v: Optional[List[List[int]]] = None
+        self._adj_f: Optional[List[List[int]]] = None
+        self._adj_key: Optional[List[List[int]]] = None
+        self._key_mult = max(n, 1)
+        self._rel_list: Optional[List[int]] = None
+        self._waiting_set: Optional[set] = None
+        self._port_in: Optional[np.ndarray] = None
+        self._port_out: Optional[np.ndarray] = None
+        self.compactions = 0
+
+    @property
+    def n_alive(self) -> int:
+        """Number of waiting flows."""
+        return self._n_alive
+
+    def arrive(self, fids: np.ndarray) -> None:
+        """Append newly released flows (in arrival order)."""
+        k = fids.size
+        if k == 0:
+            return
+        p = self._n_pos
+        self._fids[p : p + k] = fids
+        self._alive[p : p + k] = True
+        self._pos_of[fids] = np.arange(p, p + k, dtype=np.int64)
+        self._n_pos = p + k
+        self._n_alive += k
+        self._cache = None
+        if self._pairs is not None:
+            pairs, heads, keys = self._pairs, self._head_arr, self._keys
+            adj_v, adj_f, adj_key = self._adj_v, self._adj_f, self._adj_key
+            rel = self._rel_list
+            mult = self._key_mult
+            n_out = self.n_outputs
+            fid_list = fids.tolist()
+            self._waiting_set.update(fid_list)
+            for fid in fid_list:
+                key = keys[fid]
+                dq = pairs.get(key)
+                if dq is None:
+                    pairs[key] = deque((fid,))
+                    heads[key] = fid
+                    # A brand-new pair's head is this round's arrival, so
+                    # it sorts after every existing head of the row.
+                    u = key // n_out
+                    adj_v[u].append(key % n_out)
+                    adj_f[u].append(fid)
+                    adj_key[u].append(rel[fid] * mult + fid)
+                else:
+                    dq.append(fid)
+        if self._port_in is not None:
+            np.add.at(self._port_in, self.srcs[fids], 1)
+            np.add.at(self._port_out, self.dsts[fids], 1)
+
+    def remove(self, fids: np.ndarray) -> None:
+        """Tombstone scheduled flows; compact when mostly dead.
+
+        Pair-FIFO upkeep is O(churn) amortized: only removed *heads*
+        advance their FIFO (skipping tombstones left by earlier non-head
+        removals); removing a non-head flow just tombstones it.
+        """
+        if fids.size == 0:
+            return
+        pos = self._pos_of[fids]
+        self._alive[pos] = False
+        self._pos_of[fids] = -1
+        self._n_alive -= fids.size
+        self._cache = None
+        if self._pairs is not None:
+            pairs, heads, keys = self._pairs, self._head_arr, self._keys
+            alive = self._waiting_set
+            fid_list = fids.tolist()
+            alive.difference_update(fid_list)
+            adj_v, adj_f, adj_key = self._adj_v, self._adj_f, self._adj_key
+            rel = self._rel_list
+            mult = self._key_mult
+            n_out = self.n_outputs
+            for fid in fid_list:
+                key = keys[fid]
+                if heads[key] != fid:
+                    continue
+                dq = pairs[key]
+                dq.popleft()
+                while dq and dq[0] not in alive:
+                    dq.popleft()
+                u = key // n_out
+                row_f = adj_f[u]
+                idx = row_f.index(fid)
+                del adj_v[u][idx]
+                del row_f[idx]
+                del adj_key[u][idx]
+                if dq:
+                    head = dq[0]
+                    heads[key] = head
+                    # Re-insert the pair at its new head's arrival rank.
+                    k = rel[head] * mult + head
+                    row_k = adj_key[u]
+                    pos = bisect_left(row_k, k)
+                    row_k.insert(pos, k)
+                    adj_v[u].insert(pos, key % n_out)
+                    row_f.insert(pos, head)
+                else:
+                    heads[key] = -1
+                    del pairs[key]
+        if self._port_in is not None:
+            np.add.at(self._port_in, self.srcs[fids], -1)
+            np.add.at(self._port_out, self.dsts[fids], -1)
+        dead = self._n_pos - self._n_alive
+        if dead > 32 and dead > self._n_alive:
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop tombstones, preserving arrival order."""
+        keep = np.flatnonzero(self._alive[: self._n_pos])
+        k = keep.size
+        self._fids[:k] = self._fids[keep]
+        self._alive[: self._n_pos] = False
+        self._alive[:k] = True
+        self._pos_of[self._fids[:k]] = np.arange(k, dtype=np.int64)
+        self._n_pos = k
+        self.compactions += 1
+        self._cache = None
+
+    def alive_fids(self) -> np.ndarray:
+        """Fids of waiting flows in arrival order (cached per round)."""
+        if self._cache is None:
+            self._cache = self._fids[: self._n_pos][self._alive[: self._n_pos]]
+        return self._cache
+
+    def waiting_mask(self, fids: np.ndarray) -> np.ndarray:
+        """Boolean mask: is each of ``fids`` currently waiting?"""
+        return self._pos_of[fids] >= 0
+
+    # ------------------------------------------------------------------
+    # Incremental pair view (matching policies)
+    # ------------------------------------------------------------------
+
+    def pair_heads(self) -> np.ndarray:
+        """One representative waiting flow per (src, dst) pair, ordered by
+        the representative's arrival.
+
+        The representative is the pair's earliest-arrived waiting flow —
+        exactly the copy the seed's kernels matched (lowest edge id per
+        pair) and the heaviest copy under age-monotone weights.  Heads
+        are maintained incrementally by :meth:`arrive`/:meth:`remove`;
+        this call only sorts them into arrival order.
+        """
+        if self._pairs is None:
+            self._init_pair_view()
+        heads = self._head_arr
+        h = heads[heads >= 0]
+        # Arrival order is (release round, fid): rounds are processed in
+        # order and same-round arrivals enter in fid order.
+        return h[np.lexsort((h, self.releases[h]))]
+
+    def port_queue_lengths(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Waiting-flow counts per input and output port (incremental)."""
+        if self._port_in is None:
+            alive = self.alive_fids()
+            self._port_in = np.bincount(
+                self.srcs[alive], minlength=self.n_inputs
+            ).astype(np.int64)
+            self._port_out = np.bincount(
+                self.dsts[alive], minlength=self.n_outputs
+            ).astype(np.int64)
+        return self._port_in, self._port_out
+
+    def pair_adjacency(self) -> Tuple[List[List[int]], List[List[int]]]:
+        """Per-input-port pair adjacency: ``(right_rows, head_rows)``.
+
+        ``right_rows[u]`` lists the output ports with at least one waiting
+        ``(u, v)`` flow, ordered by the pair representative's arrival;
+        ``head_rows[u]`` is the aligned representative fid per pair.  Both
+        are maintained incrementally (bisect re-insertion when a head is
+        consumed) and MUST NOT be mutated by callers — they feed straight
+        into :func:`~repro.matching.hopcroft_karp.
+        max_cardinality_matching_adjacency`.
+        """
+        if self._pairs is None:
+            self._init_pair_view()
+        return self._adj_v, self._adj_f
+
+    def _init_pair_view(self) -> None:
+        self._keys = (self.srcs * self.n_outputs + self.dsts).tolist()
+        self._rel_list = self.releases.tolist()
+        keys = self._keys
+        rel = self._rel_list
+        mult = self._key_mult
+        n_out = self.n_outputs
+        pairs: Dict[int, Deque[int]] = {}
+        heads = np.full(self.n_inputs * self.n_outputs, -1, dtype=np.int64)
+        adj_v: List[List[int]] = [[] for _ in range(self.n_inputs)]
+        adj_f: List[List[int]] = [[] for _ in range(self.n_inputs)]
+        adj_key: List[List[int]] = [[] for _ in range(self.n_inputs)]
+        alive = self.alive_fids().tolist()
+        for fid in alive:
+            key = keys[fid]
+            dq = pairs.get(key)
+            if dq is None:
+                pairs[key] = deque((fid,))
+                heads[key] = fid
+                u = key // n_out
+                adj_v[u].append(key % n_out)
+                adj_f[u].append(fid)
+                adj_key[u].append(rel[fid] * mult + fid)
+            else:
+                dq.append(fid)
+        self._pairs = pairs
+        self._head_arr = heads
+        self._adj_v = adj_v
+        self._adj_f = adj_f
+        self._adj_key = adj_key
+        self._waiting_set = set(alive)
 
 
 @dataclass(frozen=True)
@@ -38,18 +342,24 @@ class SimulationResult:
         Number of simulated rounds until the last flow was scheduled.
     queue_history:
         Total waiting-flow count at the start of every round.
+    stats:
+        Engine/policy counters: ``sim_rounds``, ``compactions``, and —
+        for matching policies — ``matching_solves``, ``bfs_phases``,
+        ``augmentations``, ``warm_start_seeds``.
     """
 
     schedule: Schedule
     metrics: ScheduleMetrics
     rounds: int
     queue_history: np.ndarray = field(repr=False)
+    stats: Dict[str, int] = field(default_factory=dict, repr=False)
 
 
 def simulate(
     instance: Instance,
     policy: OnlinePolicy,
     max_rounds: Optional[int] = None,
+    timer: Optional[Timer] = None,
 ) -> SimulationResult:
     """Run ``policy`` online over ``instance``.
 
@@ -67,6 +377,10 @@ def simulate(
         Safety cap: the policy gets at most ``max_rounds`` simulated
         rounds (default ``2 * instance.horizon_bound() + 1``); needing
         more raises ``RuntimeError`` (a policy that starves flows).
+    timer:
+        Optional :class:`~repro.utils.timing.Timer`; receives a
+        ``sim_round`` event per simulated round and — through the policy
+        — ``matching_solve`` events per matching extraction.
 
     Returns
     -------
@@ -84,14 +398,30 @@ def simulate(
         # derived default keeps that allowance with ``+ 1``.
         max_rounds = 2 * instance.horizon_bound() + 1
 
-    by_release = instance.flows_by_release()
-    switch = instance.switch
+    queue = FlowQueue(instance)
+    stats: Dict[str, int] = {}
+    bind = getattr(policy, "bind_runtime", None)
+    if bind is not None:
+        bind(timer, stats)
+
+    # Arrival schedule: fids grouped by release round, in fid order within
+    # a round (matching the seed's flows_by_release iteration order).
+    releases = queue.releases
+    arrival_order = np.argsort(releases, kind="stable")
+    uniq_rounds, starts = np.unique(releases[arrival_order], return_index=True)
+    ends = np.append(starts[1:], n)
+    arrivals_at = {
+        int(r): arrival_order[s:e]
+        for r, s, e in zip(uniq_rounds.tolist(), starts.tolist(), ends.tolist())
+    }
+
+    flows = instance.flows
     assignment = np.full(n, -1, dtype=np.int64)
-    waiting: Dict[int, object] = {}  # fid -> Flow
     scheduled_count = 0
     queue_history: List[int] = []
 
     policy.reset(instance)
+    select_fast = getattr(policy, "select_fast", None)
 
     t = 0
     while scheduled_count < n:
@@ -100,61 +430,131 @@ def simulate(
                 f"policy {policy.name} exceeded {max_rounds} rounds with "
                 f"{n - scheduled_count} flows unscheduled"
             )
-        for flow in by_release.get(t, ()):  # arrivals
-            waiting[flow.fid] = flow
-        queue_history.append(len(waiting))
-        if waiting:
-            chosen = policy.select(t, waiting, instance)
-            _check_feasible(chosen, waiting, switch, policy.name, t)
-            for fid in chosen:
-                assignment[fid] = t
-                del waiting[fid]
-            scheduled_count += len(chosen)
+        round_start = time.perf_counter() if timer is not None else 0.0
+        arriving = arrivals_at.get(t)
+        if arriving is not None:
+            queue.arrive(arriving)
+        queue_history.append(queue.n_alive)
+        if queue.n_alive:
+            chosen = None
+            if select_fast is not None:
+                chosen = select_fast(t, queue, instance)
+            if chosen is None:
+                # Legacy dict interface: materialize the waiting dict in
+                # arrival order (the seed's insertion order).
+                waiting = {
+                    fid: flows[fid] for fid in queue.alive_fids().tolist()
+                }
+                chosen = policy.select(t, waiting, instance)
+            if not isinstance(chosen, np.ndarray):
+                chosen = np.asarray(list(chosen), dtype=np.int64)
+            _check_feasible(chosen, queue, instance.switch, policy.name, t)
+            if chosen.size:
+                assignment[chosen] = t
+                queue.remove(chosen)
+                scheduled_count += chosen.size
+        if timer is not None:
+            timer.add("sim_round", time.perf_counter() - round_start)
         t += 1
 
+    stats["sim_rounds"] = t
+    stats["compactions"] = queue.compactions
     schedule = Schedule(instance, assignment)
     return SimulationResult(
         schedule,
         ScheduleMetrics.of(schedule),
         rounds=t,
         queue_history=np.asarray(queue_history, dtype=np.int64),
+        stats=stats,
     )
 
 
 def _check_feasible(
-    chosen: List[int],
-    waiting: Dict[int, object],
+    chosen: np.ndarray,
+    queue: FlowQueue,
     switch,
     policy_name: str,
     t: int,
 ) -> None:
-    """Validate a policy's per-round selection against the capacities."""
-    in_load: Dict[int, int] = {}
-    out_load: Dict[int, int] = {}
-    seen: set[int] = set()
-    for fid in chosen:
-        if fid in seen:
-            raise ScheduleError(
-                f"policy {policy_name} selected flow {fid} twice in round {t}"
-            )
-        seen.add(fid)
-        flow = waiting.get(fid)
-        if flow is None:
-            raise ScheduleError(
-                f"policy {policy_name} selected unknown/done flow {fid} "
-                f"in round {t}"
-            )
-        in_load[flow.src] = in_load.get(flow.src, 0) + flow.demand
-        out_load[flow.dst] = out_load.get(flow.dst, 0) + flow.demand
-    for p, load in in_load.items():
-        if load > switch.input_capacity(p):
-            raise ScheduleError(
-                f"policy {policy_name} overloaded input {p} in round {t}: "
-                f"{load} > {switch.input_capacity(p)}"
-            )
-    for q, load in out_load.items():
-        if load > switch.output_capacity(q):
-            raise ScheduleError(
-                f"policy {policy_name} overloaded output {q} in round {t}: "
-                f"{load} > {switch.output_capacity(q)}"
-            )
+    """Validate a policy's per-round selection against the capacities.
+
+    Vectorized: the happy path is two membership probes and one
+    ``np.bincount`` per switch side; violation reporting (which must name
+    the first offender the way the seed's per-flow walk did) only runs
+    once a violation is detected.
+    """
+    k = chosen.size
+    if k == 0:
+        return
+    n = queue.srcs.shape[0]
+    ok = len(set(chosen.tolist())) == k
+    if ok:
+        mn = int(chosen.min())
+        ok = mn >= 0 and int(chosen.max()) < n and bool(
+            queue.waiting_mask(chosen).all()
+        )
+    if not ok:
+        _report_bad_selection(chosen, queue, policy_name, t)
+    if queue.unit_capacity:
+        # Unit capacities force unit demands (d_e <= kappa_e = 1), so the
+        # load check reduces to per-port multiplicity counts.
+        demands = None
+        in_load = np.bincount(queue.srcs[chosen], minlength=switch.num_inputs)
+    else:
+        demands = queue.demands[chosen]
+        in_load = np.bincount(
+            queue.srcs[chosen], weights=demands, minlength=switch.num_inputs
+        )
+    over = in_load > switch.input_capacities
+    if over.any():
+        p = int(np.flatnonzero(over)[0])
+        raise ScheduleError(
+            f"policy {policy_name} overloaded input {p} in round {t}: "
+            f"{int(in_load[p])} > {switch.input_capacity(p)}"
+        )
+    if demands is None:
+        out_load = np.bincount(queue.dsts[chosen], minlength=switch.num_outputs)
+    else:
+        out_load = np.bincount(
+            queue.dsts[chosen], weights=demands, minlength=switch.num_outputs
+        )
+    over = out_load > switch.output_capacities
+    if over.any():
+        q = int(np.flatnonzero(over)[0])
+        raise ScheduleError(
+            f"policy {policy_name} overloaded output {q} in round {t}: "
+            f"{int(out_load[q])} > {switch.output_capacity(q)}"
+        )
+
+
+def _report_bad_selection(
+    chosen: np.ndarray, queue: FlowQueue, policy_name: str, t: int
+) -> None:
+    """Raise for the first duplicate/unknown fid, in the seed's walk order
+    (duplicate checked before unknown at the same index)."""
+    k = chosen.size
+    # Duplicates: mark every non-first occurrence (the seed raised on the
+    # second occurrence, naming the repeated fid).
+    order = np.argsort(chosen, kind="stable")
+    sorted_fids = chosen[order]
+    dup_sorted = np.zeros(k, dtype=bool)
+    dup_sorted[1:] = sorted_fids[1:] == sorted_fids[:-1]
+    dup = np.zeros(k, dtype=bool)
+    dup[order] = dup_sorted
+    # Unknown/done: out of range or not currently waiting.
+    n = queue.srcs.shape[0]
+    in_range = (chosen >= 0) & (chosen < n)
+    known = np.zeros(k, dtype=bool)
+    if in_range.any():
+        known[in_range] = queue.waiting_mask(chosen[in_range])
+    bad = dup | ~known
+    i = int(np.flatnonzero(bad)[0])
+    fid = int(chosen[i])
+    if dup[i]:
+        raise ScheduleError(
+            f"policy {policy_name} selected flow {fid} twice in round {t}"
+        )
+    raise ScheduleError(
+        f"policy {policy_name} selected unknown/done flow {fid} "
+        f"in round {t}"
+    )

@@ -9,6 +9,7 @@ reproducible replay.
 """
 
 from repro.workloads.synthetic import (
+    churn_heavy_workload,
     hotspot_workload,
     incast_workload,
     permutation_workload,
@@ -18,6 +19,7 @@ from repro.workloads.trace import load_trace, save_trace
 
 __all__ = [
     "poisson_uniform_workload",
+    "churn_heavy_workload",
     "hotspot_workload",
     "permutation_workload",
     "incast_workload",

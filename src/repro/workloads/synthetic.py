@@ -146,3 +146,40 @@ def incast_workload(
         for src in srcs:
             flows.append(Flow(int(src), dst, 1, t))
     return Instance.create(switch, flows)
+
+
+def churn_heavy_workload(
+    gadgets: int,
+    copies: int,
+) -> Instance:
+    """Churn-heavy adversarial traffic for warm-started matching.
+
+    Each gadget spans two input and two output ports and releases, all at
+    round 0, ``copies`` parallel flows on three hot pairs::
+
+        L0 -> r0   (never preferred by a maximum matching)
+        L0 -> r1
+        L1 -> r0   (L1's only option)
+
+    Greedy first-fit matches ``L0 -> r0`` and strands ``L1``, so a cold
+    maximum-matching solve pays an augmenting phase *every* round; the
+    maximum matching ``{L0 -> r1, L1 -> r0}`` survives from round to
+    round (scheduled copies are replaced by queued parallel copies), so a
+    warm-started solve repairs nothing until the hot pairs drain.  This
+    is the instance the CI bench-smoke job uses to assert that the
+    warm-start path performs strictly fewer BFS phases than cold
+    per-round solving.
+    """
+    check_positive_int(gadgets, "gadgets")
+    check_positive_int(copies, "copies")
+    m = 2 * gadgets
+    switch = Switch.create(m, m, 1)
+    flows = []
+    for g in range(gadgets):
+        left0, left1 = 2 * g, 2 * g + 1
+        right0, right1 = 2 * g, 2 * g + 1
+        for _ in range(copies):
+            flows.append(Flow(left0, right0, 1, 0))
+            flows.append(Flow(left0, right1, 1, 0))
+            flows.append(Flow(left1, right0, 1, 0))
+    return Instance.create(switch, flows)

@@ -1,0 +1,201 @@
+"""Scenario-library and streaming-engine benchmarks (machine-readable).
+
+Measures (a) generation + one-policy simulation throughput for every
+registered scenario, and (b) streaming vs materialized simulation at a
+long horizon — same workload, same policy, byte-identical assignments —
+reporting rounds/sec, flows/sec, and the peak flow-buffer footprint
+(the streaming engine's O(active flows) claim, quantified: the
+materialized run holds every flow for the whole run; the stream's
+window holds a small multiple of the active count).
+
+Two ways to run:
+
+* As a script (no pytest-benchmark needed; what CI's scenario-smoke
+  job uses)::
+
+      PYTHONPATH=src python benchmarks/bench_scenarios.py --json-out
+      PYTHONPATH=src python benchmarks/bench_scenarios.py --quick --json-out
+
+  Writes ``BENCH_scenarios.json``: per-scenario throughput plus the
+  ``streaming_vs_materialized`` comparison (assertion: identical
+  assignments and a buffer footprint far below the total flow count).
+
+* Under pytest-benchmark (interactive profiling)::
+
+      PYTHONPATH=src pytest benchmarks/bench_scenarios.py \
+          --benchmark-only --json-out BENCH_scenarios.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.online.policies import make_policy
+from repro.online.simulator import simulate, simulate_stream
+from repro.scenarios import build_instance, build_stream, list_scenarios
+
+#: Policy used for every measurement (array fast path, no LP).
+POLICY = "MaxWeight"
+
+
+def bench_scenario_generation(quick: bool) -> dict:
+    """Generation + simulation throughput per registered scenario."""
+    horizon = 32 if quick else 128
+    results = {}
+    for name in list_scenarios():
+        spec = f"{name}:ports=16,horizon={horizon}"
+        t0 = time.perf_counter()
+        inst = build_instance(spec, seed=7)
+        gen_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        sim = simulate(inst, make_policy(POLICY))
+        sim_s = time.perf_counter() - t0
+        results[name] = {
+            "horizon": horizon,
+            "num_flows": inst.num_flows,
+            "generate_seconds": gen_s,
+            "simulate_seconds": sim_s,
+            "rounds_per_sec": sim.rounds / sim_s if sim_s > 0 else float("inf"),
+            "avg_response": sim.metrics.average_response,
+        }
+    return results
+
+
+def bench_streaming_vs_materialized(quick: bool) -> dict:
+    """Same long-horizon workload through both engines."""
+    horizon = 2_000 if quick else 20_000
+    spec = f"paper-default:ports=16,mean=12,horizon={horizon}"
+    stream = build_stream(spec, seed=3)
+
+    t0 = time.perf_counter()
+    inst = stream.materialize()
+    materialize_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    offline = simulate(inst, make_policy(POLICY))
+    offline_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    streamed = simulate_stream(
+        stream, make_policy(POLICY), record_schedule=True
+    )
+    stream_s = time.perf_counter() - t0
+
+    identical = bool(
+        np.array_equal(offline.schedule.assignment, streamed.assignment)
+    )
+    stats = streamed.stats
+    return {
+        "spec": spec,
+        "num_flows": inst.num_flows,
+        "rounds": int(streamed.rounds),
+        "byte_identical": identical,
+        "materialized": {
+            "generate_seconds": materialize_s,
+            "simulate_seconds": offline_s,
+            "rounds_per_sec": offline.rounds / offline_s,
+            "flow_buffer": inst.num_flows,  # holds everything, always
+        },
+        "streaming": {
+            "simulate_seconds": stream_s,
+            "rounds_per_sec": streamed.rounds / stream_s,
+            "peak_buffer": int(stats["peak_buffer"]),
+            "peak_alive": int(stats["peak_alive"]),
+            "rebases": int(stats["rebases"]),
+        },
+        # How much smaller the streaming window is than the full
+        # instance (higher is better; grows with horizon).
+        "buffer_shrink_factor": inst.num_flows / max(stats["peak_buffer"], 1),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced horizons (CI smoke mode)")
+    parser.add_argument("--json-out", nargs="?", const="BENCH_scenarios.json",
+                        default=None, metavar="PATH")
+    args = parser.parse_args(argv)
+
+    scenarios = bench_scenario_generation(args.quick)
+    comparison = bench_streaming_vs_materialized(args.quick)
+    results = {
+        "scenarios": scenarios,
+        "streaming_vs_materialized": comparison,
+    }
+
+    for name, cell in scenarios.items():
+        print(
+            f"{name:16s} n={cell['num_flows']:6d} "
+            f"gen={cell['generate_seconds']*1e3:7.1f}ms "
+            f"sim={cell['rounds_per_sec']:8.1f} rounds/s"
+        )
+    print(
+        f"streaming vs materialized @ {comparison['rounds']} rounds, "
+        f"{comparison['num_flows']} flows: "
+        f"{comparison['streaming']['rounds_per_sec']:.1f} vs "
+        f"{comparison['materialized']['rounds_per_sec']:.1f} rounds/s; "
+        f"buffer {comparison['streaming']['peak_buffer']} vs "
+        f"{comparison['materialized']['flow_buffer']} "
+        f"({comparison['buffer_shrink_factor']:.1f}x smaller)"
+    )
+
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(results, fh, indent=1, sort_keys=True)
+        print(f"wrote {args.json_out}")
+
+    if not comparison["byte_identical"]:
+        print("FAIL: streaming assignments diverged from materialized run",
+              file=sys.stderr)
+        return 1
+    if comparison["buffer_shrink_factor"] < 10:
+        print(
+            f"FAIL: streaming buffer only "
+            f"{comparison['buffer_shrink_factor']:.1f}x smaller than the "
+            "materialized instance (expected >= 10x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points (interactive profiling)
+# ---------------------------------------------------------------------------
+
+try:  # pragma: no cover - pytest plumbing
+    import pytest
+except ImportError:  # pragma: no cover
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.parametrize("name", sorted(
+        ("paper-default", "hotspot", "onoff-bursty", "heavy-tailed")
+    ))
+    def test_bench_scenario_simulation(benchmark, record_ops, name):
+        inst = build_instance(f"{name}:ports=16,horizon=64", seed=7)
+        benchmark.pedantic(
+            lambda: simulate(inst, make_policy(POLICY)),
+            rounds=3, iterations=1,
+        )
+        record_ops(benchmark, "scenario_simulation", name)
+
+    def test_bench_streaming_long_horizon(benchmark, record_ops):
+        stream = build_stream(
+            "paper-default:ports=16,mean=12,horizon=2000", seed=3
+        )
+        benchmark.pedantic(
+            lambda: simulate_stream(stream, make_policy(POLICY)),
+            rounds=3, iterations=1,
+        )
+        record_ops(benchmark, "streaming_simulation", "h2000")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,6 +54,16 @@ from repro.online import (
     make_policy,
     run_amrt,
     simulate,
+    simulate_stream,
+)
+from repro.scenarios import (
+    ArrivalStream,
+    ScenarioSpec,
+    build_instance,
+    build_stream,
+    list_scenarios,
+    parse_scenario,
+    register_scenario,
 )
 from repro.workloads import (
     hotspot_workload,
@@ -93,9 +103,17 @@ __all__ = [
     "from_deadlines",
     "schedule_time_constrained",
     "simulate",
+    "simulate_stream",
     "make_policy",
     "run_amrt",
     "AMRTResult",
+    "ScenarioSpec",
+    "parse_scenario",
+    "ArrivalStream",
+    "register_scenario",
+    "list_scenarios",
+    "build_stream",
+    "build_instance",
     "poisson_uniform_workload",
     "hotspot_workload",
     "permutation_workload",

@@ -2,11 +2,15 @@
 
 Commands
 --------
-``solve TRACE --solver NAME``
+``solve TRACE --solver NAME`` / ``solve --scenario NAME[:k=v,...]``
     Run any registered solver on a JSON trace (see
-    ``repro.workloads.trace``); ``-p key=value`` forwards parameters.
-``list-solvers``
+    ``repro.workloads.trace``) or on a generated scenario from the
+    declarative registry (``repro.scenarios``); ``-p key=value``
+    forwards solver parameters, ``--seed`` seeds scenario generation.
+``list-solvers [--json]``
     Enumerate the plugin registry (offline / online / coflow).
+``scenarios list [--json]``
+    Enumerate the scenario registry with defaults and summaries.
 ``fig6`` / ``fig7``
     Regenerate the paper's figure series (``--quick`` /
     ``--paper-scale``; ``--jobs N`` parallelizes the sweep trials;
@@ -83,28 +87,48 @@ def _cmd_figures(args, which: str) -> int:
     return 0
 
 
-def _run_on_trace(trace_path, solver_name: str, kind=None, params=None):
-    """Load a trace, run a registered solver on it, print the instance.
+def _load_instance(args):
+    """The instance named by ``args``: a trace file or a ``--scenario``.
+
+    Exactly one source must be given; scenario parse/build errors and
+    trace errors alike exit cleanly with an ``error:`` message.
+    """
+    scenario = getattr(args, "scenario", None)
+    if (args.trace is None) == (scenario is None):
+        raise SystemExit(
+            "error: pass exactly one of TRACE or --scenario NAME[:k=v,...]"
+        )
+    if scenario is not None:
+        from repro.scenarios import build_instance
+
+        try:
+            return build_instance(scenario, seed=getattr(args, "seed", 0))
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"error: {exc}")
+    from repro.workloads.trace import load_trace
+
+    try:
+        return load_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _run_on_instance(inst, solver_name: str, kind=None, params=None):
+    """Run a registered solver on ``inst``, echoing the instance first.
 
     ``params`` is an explicit dict (not ``**kwargs``) so user-supplied
     ``-p`` names can never collide with this function's own arguments —
     every pair is forwarded to ``solve()`` verbatim.
 
-    Predictable user errors — a missing or garbled trace file, an
-    unknown solver name, a solver of the wrong ``kind`` — exit cleanly
-    with an ``error:`` message instead of a traceback (shared by
-    ``solve`` and its aliases).  Errors raised by ``solve()`` itself
-    propagate from here; the aliases let them traceback, while
-    ``_cmd_solve`` additionally converts ValueError/TypeError (see
-    its comment for the tradeoff).
+    Predictable user errors — an unknown solver name, a solver of the
+    wrong ``kind`` — exit cleanly with an ``error:`` message instead of
+    a traceback (shared by ``solve`` and its aliases).  Errors raised
+    by ``solve()`` itself propagate from here; the aliases let them
+    traceback, while ``_cmd_solve`` additionally converts
+    ValueError/TypeError (see its comment for the tradeoff).
     """
     from repro.api import get_solver, list_solvers
-    from repro.workloads.trace import load_trace
 
-    try:
-        inst = load_trace(trace_path)
-    except (OSError, ValueError) as exc:
-        raise SystemExit(f"error: {exc}")
     try:
         solver = get_solver(solver_name)
     except ValueError as exc:
@@ -118,10 +142,22 @@ def _run_on_trace(trace_path, solver_name: str, kind=None, params=None):
     return solver.solve(inst, **(params or {}))
 
 
-def _cmd_solve(args) -> int:
+def _run_on_trace(trace_path, solver_name: str, kind=None, params=None):
+    """Back-compat shim for the ``solve`` aliases (trace input only)."""
+    from repro.workloads.trace import load_trace
+
     try:
-        report = _run_on_trace(
-            args.trace, args.solver, params=_parse_params(args.param)
+        inst = load_trace(trace_path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    return _run_on_instance(inst, solver_name, kind=kind, params=params)
+
+
+def _cmd_solve(args) -> int:
+    inst = _load_instance(args)
+    try:
+        report = _run_on_instance(
+            inst, args.solver, params=_parse_params(args.param)
         )
     except (ValueError, TypeError) as exc:
         # Free-form -p input makes bad parameter names/values and
@@ -149,6 +185,19 @@ def _cmd_solve(args) -> int:
 def _cmd_list_solvers(args) -> int:
     from repro.api import SOLVER_KINDS, get_solver, list_solvers
 
+    if getattr(args, "json", False):
+        payload = {
+            kind: [
+                {
+                    "name": name,
+                    "summary": getattr(get_solver(name), "summary", ""),
+                }
+                for name in list_solvers(kind)
+            ]
+            for kind in SOLVER_KINDS
+        }
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
     for kind in SOLVER_KINDS:
         names = list_solvers(kind)
         if not names:
@@ -157,6 +206,40 @@ def _cmd_list_solvers(args) -> int:
         for name in names:
             summary = getattr(get_solver(name), "summary", "")
             print(f"  {name:<16s} {summary}")
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    from repro.scenarios import get_scenario, list_scenarios
+
+    if args.scenarios_command != "list":  # pragma: no cover - argparse guards
+        raise AssertionError(
+            f"unhandled scenarios subcommand {args.scenarios_command}"
+        )
+    entries = [get_scenario(name) for name in list_scenarios()]
+    if args.json:
+        payload = [
+            {
+                "name": e.name,
+                "summary": e.summary,
+                "num_ports": e.num_ports,
+                "capacity": e.capacity,
+                "horizon": e.horizon,
+                "params": dict(e.defaults),
+            }
+            for e in entries
+        ]
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+    for e in entries:
+        print(f"{e.name:<16s} {e.summary}")
+        shape = (
+            f"ports={e.num_ports if e.num_ports is not None else 'derived'} "
+            f"capacity={e.capacity if e.capacity is not None else 'derived'} "
+            f"horizon={e.horizon if e.horizon is not None else 'unbounded'}"
+        )
+        knobs = " ".join(f"{k}={v}" for k, v in sorted(e.defaults.items()))
+        print(f"{'':<16s}   defaults: {shape}" + (f" {knobs}" if knobs else ""))
     return 0
 
 
@@ -196,9 +279,27 @@ def _cmd_generate(args) -> int:
     from repro.workloads.synthetic import poisson_uniform_workload
     from repro.workloads.trace import save_trace
 
-    inst = poisson_uniform_workload(
-        args.ports, args.mean, args.rounds, seed=args.seed
-    )
+    if args.scenario is not None:
+        if (args.ports, args.mean, args.rounds) != (None, None, None):
+            raise SystemExit(
+                "error: --ports/--mean/--rounds configure the default "
+                "Poisson/uniform generator; with --scenario use spec "
+                "options instead (e.g. --scenario "
+                f"{args.scenario.split(':')[0]}:ports=32,horizon=20)"
+            )
+        from repro.scenarios import build_instance
+
+        try:
+            inst = build_instance(args.scenario, seed=args.seed)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"error: {exc}")
+    else:
+        inst = poisson_uniform_workload(
+            24 if args.ports is None else args.ports,
+            24.0 if args.mean is None else args.mean,
+            10 if args.rounds is None else args.rounds,
+            seed=args.seed,
+        )
     save_trace(inst, args.out)
     print(f"wrote {inst} to {args.out}")
     return 0
@@ -240,15 +341,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("solve", help="run any registered solver on a trace")
-    p.add_argument("trace")
+    p = sub.add_parser(
+        "solve", help="run any registered solver on a trace or scenario"
+    )
+    p.add_argument("trace", nargs="?", default=None)
     p.add_argument("--solver", default="MaxWeight",
                    help="registry name (see list-solvers)")
+    p.add_argument("--scenario", default=None, metavar="NAME[:k=v,...]",
+                   help="generate the instance from the scenario registry "
+                        "instead of reading a trace (see scenarios list)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="scenario generation seed (with --scenario)")
     p.add_argument("-p", "--param", action="append", metavar="KEY=VALUE",
                    help="solver parameter (repeatable; value parsed as JSON)")
     p.add_argument("--out", default=None)
 
-    sub.add_parser("list-solvers", help="enumerate the solver registry")
+    p = sub.add_parser("list-solvers", help="enumerate the solver registry")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+
+    p = sub.add_parser("scenarios", help="inspect the scenario registry")
+    ssub = p.add_subparsers(dest="scenarios_command", required=True)
+    p = ssub.add_parser("list", help="enumerate registered scenarios")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
 
     for fig in ("fig6", "fig7"):
         p = sub.add_parser(fig, help=f"regenerate {fig} series")
@@ -284,12 +400,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", default="MaxWeight")
     p.add_argument("--out", default=None)
 
-    p = sub.add_parser("generate", help="write a Poisson/uniform trace")
+    p = sub.add_parser(
+        "generate", help="write a Poisson/uniform (or scenario) trace"
+    )
     p.add_argument("out")
-    p.add_argument("--ports", type=int, default=24)
-    p.add_argument("--mean", type=float, default=24.0)
-    p.add_argument("--rounds", type=int, default=10)
+    # Poisson/uniform knobs default to None so an explicit flag can be
+    # detected (and rejected) when --scenario supplies the generator.
+    p.add_argument("--ports", type=int, default=None,
+                   help="switch size (default 24; Poisson generator only)")
+    p.add_argument("--mean", type=float, default=None,
+                   help="mean arrivals/round (default 24; Poisson only)")
+    p.add_argument("--rounds", type=int, default=None,
+                   help="generation rounds (default 10; Poisson only)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scenario", default=None, metavar="NAME[:k=v,...]",
+                   help="materialize a registered scenario instead of the "
+                        "default Poisson/uniform generator")
 
     p = sub.add_parser(
         "probe-open-problem", help="Section 6 open-question explorer"
@@ -305,6 +431,7 @@ def build_parser() -> argparse.ArgumentParser:
 _COMMANDS = {
     "solve": _cmd_solve,
     "list-solvers": _cmd_list_solvers,
+    "scenarios": _cmd_scenarios,
     "solve-mrt": _cmd_solve_mrt,
     "solve-art": _cmd_solve_art,
     "simulate": _cmd_simulate,

@@ -83,6 +83,55 @@ def format_cell_line(cell: CellResult, solvers: Sequence[str]) -> str:
     )
 
 
+def format_scenario_line(
+    label: str, cell: CellResult, solvers: Sequence[str]
+) -> str:
+    """One verbose progress line per scenario cell."""
+    lp6 = format_bound(cell.lp_avg_bound, 2)
+    lp7 = format_bound(cell.lp_max_bound, 1)
+    return (
+        f"{label:<40s}  "
+        + "  ".join(
+            f"{p}:avg={cell.avg_response[p]:.2f}/max="
+            f"{cell.max_response[p]:.1f}"
+            for p in solvers
+        )
+        + f"  LPavg={lp6} LPmax={lp7}"
+    )
+
+
+def run_scenario_sweep(
+    config: ExperimentConfig,
+    scenarios: Sequence,
+    solvers: Optional[Sequence[str]] = None,
+    compute_lp_bounds: bool = True,
+    verbose: bool = False,
+    executor: str = "serial",
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    resume: bool = True,
+) -> Dict[str, CellResult]:
+    """Sweep solvers over declarative *scenarios* instead of (M, T) cells.
+
+    The scenario-registry counterpart of :func:`run_sweep`: every entry
+    of ``scenarios`` (a :class:`repro.scenarios.ScenarioSpec` or its
+    compact ``"name:k=v,..."`` text form) becomes one aggregated
+    :class:`CellResult` over ``config.trials`` trials, keyed by the
+    spec's label.  Execution, parallelism, and result caching all reuse
+    :meth:`repro.api.runner.Runner.run_scenarios`.
+    """
+    from repro.api.runner import Runner
+
+    return Runner(
+        config,
+        executor=executor,
+        jobs=jobs,
+        compute_lp_bounds=compute_lp_bounds,
+        cache_dir=cache_dir,
+        resume=resume,
+    ).run_scenarios(scenarios, solvers=solvers, verbose=verbose)
+
+
 def run_sweep(
     config: ExperimentConfig,
     compute_lp_bounds: bool = True,

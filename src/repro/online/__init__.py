@@ -11,7 +11,14 @@
   Figure 4 (Lemmas 5.1 and 5.2).
 """
 
-from repro.online.simulator import FlowQueue, SimulationResult, simulate
+from repro.online.simulator import (
+    FlowQueue,
+    SimulationResult,
+    StreamFlowQueue,
+    StreamSimulationResult,
+    simulate,
+    simulate_stream,
+)
 from repro.online.policies import (
     FifoPolicy,
     MaxCardPolicy,
@@ -21,7 +28,12 @@ from repro.online.policies import (
     POLICY_REGISTRY,
     make_policy,
 )
-from repro.online.amrt import AMRTResult, run_amrt
+from repro.online.amrt import (
+    AMRTResult,
+    AMRTStreamResult,
+    run_amrt,
+    run_amrt_stream,
+)
 from repro.online.lower_bounds import (
     adaptive_figure4a_ratio,
     adaptive_figure4b_max_response,
@@ -32,8 +44,11 @@ from repro.online.lower_bounds import (
 
 __all__ = [
     "simulate",
+    "simulate_stream",
     "SimulationResult",
+    "StreamSimulationResult",
     "FlowQueue",
+    "StreamFlowQueue",
     "OnlinePolicy",
     "MaxCardPolicy",
     "MinRTimePolicy",
@@ -42,7 +57,9 @@ __all__ = [
     "POLICY_REGISTRY",
     "make_policy",
     "run_amrt",
+    "run_amrt_stream",
     "AMRTResult",
+    "AMRTStreamResult",
     "figure4a_instance",
     "figure4b_instance",
     "adaptive_figure4a_ratio",

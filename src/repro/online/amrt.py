@@ -169,25 +169,24 @@ def run_amrt(
     )
 
 
-def _try_schedule_batch(
-    instance: Instance,
-    fids: List[int],
+def _schedule_batch_instance(
+    sub: Instance,
     start: int,
     rho: int,
     backend: str,
     timer=None,
-) -> Dict[int, int] | None:
-    """Offline subroutine of Lemma 5.3.
+) -> "np.ndarray | None":
+    """Offline subroutine of Lemma 5.3, shared by both entry points.
 
-    Checks whether the batch, *with its original release times*, can be
-    scheduled with maximum response ρ (the offline FS-MRT feasibility
-    question); if yes, the Theorem 3 rounded schedule — which uses at
-    most ``c_p + 2 d_max − 1`` per port — is time-shifted so the batch
-    starts in round ``start`` ("schedule them according to the offline
-    algorithm starting in round t").  Returns ``{fid: round}`` or
-    ``None`` when the LP is infeasible for this ρ (caller bumps ρ).
+    Checks whether ``sub`` (one pending batch, *with its original
+    release times*), can be scheduled with maximum response ρ (the
+    offline FS-MRT feasibility question); if yes, the Theorem 3 rounded
+    schedule — which uses at most ``c_p + 2 d_max − 1`` per port — is
+    time-shifted so the batch starts in round ``start`` ("schedule them
+    according to the offline algorithm starting in round t").  Returns
+    the per-sub-fid round array, or ``None`` when the LP is infeasible
+    for this ρ (caller bumps ρ).
     """
-    sub = instance.restricted_to(fids)
     active = tuple(
         tuple(range(f.release, f.release + rho)) for f in sub.flows
     )
@@ -199,7 +198,217 @@ def _try_schedule_batch(
     # the batch lands on `start`, so all rounds are >= start > releases'
     # window and the shifted schedule occupies < 2 rho rounds.
     shift = start - min(f.release for f in sub.flows)
-    return {
-        fids[i]: int(result.schedule.assignment[i]) + shift
-        for i in range(sub.num_flows)
-    }
+    return result.schedule.assignment + shift
+
+
+def _try_schedule_batch(
+    instance: Instance,
+    fids: List[int],
+    start: int,
+    rho: int,
+    backend: str,
+    timer=None,
+) -> Dict[int, int] | None:
+    """:func:`_schedule_batch_instance` keyed back to ``instance`` fids."""
+    sub = instance.restricted_to(fids)
+    rounds = _schedule_batch_instance(sub, start, rho, backend, timer)
+    if rounds is None:
+        return None
+    return {fids[i]: int(rounds[i]) for i in range(sub.num_flows)}
+
+
+# ---------------------------------------------------------------------------
+# Streaming entry point
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AMRTStreamResult:
+    """Outcome of :func:`run_amrt_stream` (streamed aggregates only).
+
+    Attributes mirror :class:`AMRTResult` minus the full schedule —
+    response metrics are folded online per committed batch, so memory
+    stays O(pending batch + the ≤ 2ρ-round load window) regardless of
+    horizon.  ``max_augmentation`` inside ``metrics`` is the same
+    quantity :meth:`~repro.core.schedule.Schedule.max_augmentation`
+    reports: the largest per-(port, round) load excess over capacity.
+    """
+
+    metrics: ScheduleMetrics
+    final_rho: int
+    max_port_usage: int
+    batches: int
+    rounds: int
+    arrivals: int
+
+
+def run_amrt_stream(
+    stream,
+    arrival_rounds: int | None = None,
+    initial_rho: int = 1,
+    backend: str = "auto",
+    max_rho: int | None = None,
+    timer=None,
+) -> AMRTStreamResult:
+    """Run AMRT over an arrival stream (Lemma 5.3, unbounded horizons).
+
+    The streaming sibling of :func:`run_amrt`: arrival batches are
+    consumed lazily up to each batch boundary, the offline subroutine
+    runs on a *sub-instance built from only the pending flows*, and the
+    committed schedule is folded into running response/load aggregates —
+    nothing proportional to the horizon or the total flow count is
+    retained.  On the same arrivals, the committed batches, ρ
+    increments, and per-flow rounds are identical to :func:`run_amrt`
+    on the materialized instance.
+
+    Parameters
+    ----------
+    stream:
+        Iterable of per-round ``(srcs, dsts, demands)`` batches with a
+        ``.switch`` attribute (e.g. :class:`repro.scenarios.
+        ArrivalStream`).
+    arrival_rounds:
+        Arrival rounds to consume (defaults to the stream's own bound;
+        required for unbounded streams).
+    initial_rho / backend / max_rho / timer:
+        As in :func:`run_amrt`; ``max_rho`` defaults to a dynamic cap of
+        ``arrival_rounds + arrivals-so-far + 1`` (the streaming
+        analogue of ``horizon_bound()``).
+    """
+    from repro.core.flow import Flow
+
+    switch = stream.switch
+    limit = arrival_rounds
+    if limit is None:
+        limit = getattr(stream, "rounds", None)
+    if limit is None:
+        raise ValueError(
+            "unbounded stream: pass arrival_rounds= to run_amrt_stream"
+        )
+
+    it = iter(stream)
+    next_round = 0
+    exhausted = limit == 0
+    pending: List[Flow] = []
+    arrived = 0
+
+    def consume_until(boundary: int) -> None:
+        """Pull arrival rounds ``<= boundary`` into ``pending``."""
+        nonlocal next_round, exhausted, arrived
+        while not exhausted and next_round <= boundary:
+            try:
+                srcs, dsts, demands = next(it)
+            except StopIteration:
+                exhausted = True
+                return
+            for i in range(len(srcs)):
+                pending.append(
+                    Flow(int(srcs[i]), int(dsts[i]), int(demands[i]),
+                         next_round)
+                )
+            arrived += len(srcs)
+            next_round += 1
+            if next_round >= limit:
+                exhausted = True
+
+    rho = int(initial_rho)
+    boundary = 0
+    batches = 0
+    total_resp = 0
+    max_resp = 0
+    makespan = 0
+    # Load window: round -> (in_loads, out_loads); rounds below the next
+    # boundary can never receive more load (future batches shift to
+    # start at their boundary), so they finalize into `max_excess`.
+    loads: Dict[int, tuple] = {}
+    max_excess = 0
+
+    def finalize_loads(below: int) -> None:
+        nonlocal max_excess
+        for r in [r for r in loads if r < below]:
+            in_l, out_l = loads.pop(r)
+            excess = max(
+                int((in_l - switch.input_capacities).max(initial=0)),
+                int((out_l - switch.output_capacities).max(initial=0)),
+            )
+            if excess > max_excess:
+                max_excess = excess
+
+    while True:
+        consume_until(boundary)
+        if exhausted and not pending:
+            break
+        cap = max_rho if max_rho is not None else limit + arrived + 1
+        if rho > cap:
+            raise RuntimeError(
+                f"AMRT failed to converge (t={boundary}, rho={rho}); "
+                "max_rho too small?"
+            )
+        if boundary > 4 * (limit + arrived + 1):
+            raise RuntimeError(
+                f"AMRT failed to converge (t={boundary}, rho={rho}); "
+                "max_rho too small?"
+            )
+        if pending:
+            sub = Instance.create(switch, pending)
+            if timer is not None:
+                with timer.measure("amrt_batch"):
+                    rounds_assigned = _schedule_batch_instance(
+                        sub, boundary, rho, backend, timer
+                    )
+            else:
+                rounds_assigned = _schedule_batch_instance(
+                    sub, boundary, rho, backend
+                )
+            if rounds_assigned is not None:
+                releases = sub.releases()
+                resp = (rounds_assigned + 1) - releases
+                total_resp += int(resp.sum())
+                peak = int(resp.max())
+                if peak > max_resp:
+                    max_resp = peak
+                end = int(rounds_assigned.max()) + 1
+                if end > makespan:
+                    makespan = end
+                demands = sub.demands()
+                srcs, dsts = sub.srcs(), sub.dsts()
+                order = np.argsort(rounds_assigned, kind="stable")
+                sorted_rounds = rounds_assigned[order]
+                uniq, starts = np.unique(sorted_rounds, return_index=True)
+                ends = np.append(starts[1:], sorted_rounds.size)
+                for r, lo, hi in zip(
+                    uniq.tolist(), starts.tolist(), ends.tolist()
+                ):
+                    entry = loads.get(r)
+                    if entry is None:
+                        entry = loads[r] = (
+                            np.zeros(switch.num_inputs, dtype=np.int64),
+                            np.zeros(switch.num_outputs, dtype=np.int64),
+                        )
+                    idx = order[lo:hi]
+                    np.add.at(entry[0], srcs[idx], demands[idx])
+                    np.add.at(entry[1], dsts[idx], demands[idx])
+                pending = []
+                batches += 1
+            else:
+                rho += 1
+        boundary += rho
+        finalize_loads(boundary)
+
+    finalize_loads(makespan + 1)
+    metrics = ScheduleMetrics(
+        num_flows=arrived,
+        total_response=total_resp,
+        average_response=(total_resp / arrived) if arrived else 0.0,
+        max_response=max_resp,
+        makespan=makespan,
+        max_augmentation=max_excess,
+    )
+    return AMRTStreamResult(
+        metrics=metrics,
+        final_rho=rho,
+        max_port_usage=max_excess,
+        batches=batches,
+        rounds=boundary,
+        arrivals=arrived,
+    )

@@ -295,9 +295,15 @@ class FlowQueue:
             self._init_pair_view()
         return self._adj_v, self._adj_f
 
+    def _flow_count(self) -> int:
+        """Number of valid fid slots in the attribute arrays (the whole
+        array here; the streaming subclass over-allocates and overrides)."""
+        return self.srcs.shape[0]
+
     def _init_pair_view(self) -> None:
-        self._keys = (self.srcs * self.n_outputs + self.dsts).tolist()
-        self._rel_list = self.releases.tolist()
+        n = self._flow_count()
+        self._keys = (self.srcs[:n] * self.n_outputs + self.dsts[:n]).tolist()
+        self._rel_list = self.releases[:n].tolist()
         keys = self._keys
         rel = self._rel_list
         mult = self._key_mult
@@ -326,6 +332,182 @@ class FlowQueue:
         self._adj_f = adj_f
         self._adj_key = adj_key
         self._waiting_set = set(alive)
+
+
+class StreamFlowQueue(FlowQueue):
+    """Growable :class:`FlowQueue` for streaming simulation.
+
+    The offline queue pre-sizes every fid-indexed array to the
+    instance's flow count; a stream has no such count, so this subclass
+    owns its attribute arrays and maintains a **sliding window** over
+    local fids: arrivals append via :meth:`extend_flows` (arrays double
+    as needed), and once the window has accumulated enough finished
+    flows the dead *prefix* is reclaimed by a rebase — every local fid
+    shifts down by the offset, attribute entries slide, and the
+    incremental pair view rebuilds lazily (O(active)).  Rebase attempts
+    are spaced geometrically (next attempt only once the window has
+    doubled again), so the amortized upkeep per flow is O(1) and the
+    buffer stays O(active flows) whenever the policy keeps draining the
+    oldest work (``peak_buffer`` / ``peak_alive`` stats expose the
+    actual ratio).
+
+    Local fids are arrival-ordered, exactly like materialized fids, so
+    the policy fast paths (which tie-break by fid) select the same
+    flows as the offline simulator; ``global_offset`` maps a local fid
+    back to the stream-global one (``global = local + offset``).
+    """
+
+    __slots__ = (
+        "switch",
+        "_cap",
+        "_n_local",
+        "_rebase_at",
+        "global_offset",
+        "peak_alive",
+        "peak_buffer",
+        "rebases",
+    )
+
+    _MIN_CAP = 64
+
+    def __init__(self, switch):
+        self.switch = switch
+        self.n_inputs = switch.num_inputs
+        self.n_outputs = switch.num_outputs
+        self.unit_capacity = bool(switch.is_unit_capacity)
+        cap = self._MIN_CAP
+        self.srcs = np.zeros(cap, dtype=np.int64)
+        self.dsts = np.zeros(cap, dtype=np.int64)
+        self.demands = np.ones(cap, dtype=np.int64)
+        self.releases = np.zeros(cap, dtype=np.int64)
+        self._fids = np.empty(cap, dtype=np.int64)
+        self._alive = np.zeros(cap, dtype=bool)
+        self._pos_of = np.full(cap, -1, dtype=np.int64)
+        self._n_pos = 0
+        self._n_alive = 0
+        self._cache = None
+        self._keys = None
+        self._pairs = None
+        self._head_arr = None
+        self._adj_v = None
+        self._adj_f = None
+        self._adj_key = None
+        # Pair-view sort keys are Python ints (arbitrary precision), so a
+        # constant multiplier larger than any local fid keeps the
+        # (release, fid) ordering without rescaling as the window grows.
+        self._key_mult = 1 << 62
+        self._rel_list = None
+        self._waiting_set = None
+        self._port_in = None
+        self._port_out = None
+        self.compactions = 0
+        self._cap = cap
+        self._n_local = 0
+        self._rebase_at = 4 * self._MIN_CAP
+        self.global_offset = 0
+        self.peak_alive = 0
+        self.peak_buffer = 0
+        self.rebases = 0
+
+    @property
+    def buffer_size(self) -> int:
+        """Current window length (attribute entries held), local fids."""
+        return self._n_local
+
+    def _flow_count(self) -> int:
+        return self._n_local
+
+    def extend_flows(
+        self,
+        srcs: np.ndarray,
+        dsts: np.ndarray,
+        demands: np.ndarray,
+        release: int,
+    ) -> np.ndarray:
+        """Append one round's arrivals; returns their new local fids.
+
+        Callers pass the returned fids straight to :meth:`arrive` (the
+        two steps stay separate so this class remains a drop-in
+        :class:`FlowQueue` for the policy fast paths).
+        """
+        k = int(srcs.size)
+        if k == 0:
+            return np.empty(0, dtype=np.int64)
+        self._maybe_rebase()
+        lo = self._n_local
+        need = lo + k
+        if need > self._cap:
+            self._grow(need)
+        self.srcs[lo:need] = srcs
+        self.dsts[lo:need] = dsts
+        self.demands[lo:need] = demands
+        self.releases[lo:need] = release
+        self._n_local = need
+        if self._keys is not None:
+            self._keys.extend((srcs * self.n_outputs + dsts).tolist())
+            self._rel_list.extend([int(release)] * k)
+        if need > self.peak_buffer:
+            self.peak_buffer = need
+        return np.arange(lo, need, dtype=np.int64)
+
+    def arrive(self, fids: np.ndarray) -> None:
+        super().arrive(fids)
+        if self._n_alive > self.peak_alive:
+            self.peak_alive = self._n_alive
+
+    def _grow(self, need: int) -> None:
+        new_cap = max(need, 2 * self._cap)
+
+        def grown(arr, fill=None):
+            out = np.empty(new_cap, dtype=arr.dtype)
+            out[: arr.size] = arr
+            if fill is not None:
+                out[arr.size:] = fill
+            return out
+
+        self.srcs = grown(self.srcs)
+        self.dsts = grown(self.dsts)
+        self.demands = grown(self.demands)
+        self.releases = grown(self.releases)
+        self._fids = grown(self._fids)
+        self._alive = grown(self._alive, fill=False)
+        self._pos_of = grown(self._pos_of, fill=-1)
+        self._cap = new_cap
+
+    def _maybe_rebase(self) -> None:
+        """Reclaim the window's finished prefix (amortized O(1)/flow).
+
+        Only fids below the smallest *waiting* fid can be dropped — a
+        long-waiting straggler pins the window, which the ``peak_buffer``
+        stat makes visible rather than hiding.
+        """
+        if self._n_local < self._rebase_at:
+            return
+        self.compact()  # positions now dense and arrival-ordered
+        live = self._fids[: self._n_pos]
+        off = self._n_local if self._n_pos == 0 else int(live.min())
+        self._rebase_at = max(2 * (self._n_local - off), 4 * self._MIN_CAP)
+        if off == 0:
+            return
+        n_new = self._n_local - off
+        for arr in (self.srcs, self.dsts, self.demands, self.releases):
+            arr[:n_new] = arr[off : self._n_local]
+        live -= off  # in-place: stored position fids shift with the window
+        self._pos_of[:n_new] = self._pos_of[off : self._n_local]
+        self._pos_of[n_new : self._n_local] = -1
+        self._n_local = n_new
+        self.global_offset += off
+        self.rebases += 1
+        # Pair-view structures hold pre-shift fids; rebuild lazily.
+        self._pairs = None
+        self._keys = None
+        self._head_arr = None
+        self._adj_v = None
+        self._adj_f = None
+        self._adj_key = None
+        self._rel_list = None
+        self._waiting_set = None
+        self._cache = None
 
 
 @dataclass(frozen=True)
@@ -557,4 +739,288 @@ def _report_bad_selection(
     raise ScheduleError(
         f"policy {policy_name} selected unknown/done flow {fid} "
         f"in round {t}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Streaming entry point
+# ---------------------------------------------------------------------------
+
+
+class _StreamView:
+    """Minimal ``Instance`` stand-in handed to policies during streaming
+    simulation.  The built-in policies consult only ``.switch``; a custom
+    policy that inspects other ``Instance`` attributes is not
+    stream-compatible (it would need the whole workload up front, which
+    is exactly what streaming avoids)."""
+
+    __slots__ = ("switch",)
+
+    def __init__(self, switch):
+        self.switch = switch
+
+
+@dataclass(frozen=True)
+class StreamSimulationResult:
+    """Outcome of :func:`simulate_stream`.
+
+    Attributes
+    ----------
+    metrics:
+        Response-time summary, aggregated *online* (no per-flow arrays
+        are retained): ``max_augmentation`` is 0 by construction — the
+        engine validates every round against the switch capacities.
+    rounds:
+        Simulated rounds until the queue drained (the last scheduling
+        round + 1 — what :func:`simulate` reports; empty trailing
+        arrival rounds the engine had to consume are not counted).
+    arrival_rounds:
+        Arrival rounds actually consumed from the stream (stops at the
+        stream's own end when that comes before any requested limit).
+    stats:
+        Engine/policy counters: everything :class:`SimulationResult`
+        reports plus ``rebases``, ``peak_alive`` (most concurrently
+        waiting flows), and ``peak_buffer`` (largest attribute window —
+        the O(active flows) memory claim, measurable).
+    queue_history / assignment:
+        Only populated when requested (both are O(rounds) / O(flows)
+        and defeat the purpose of streaming on unbounded horizons).
+        ``assignment[global_fid] = round``, in stream arrival order —
+        byte-comparable against the materialized simulator's.
+    """
+
+    metrics: ScheduleMetrics
+    rounds: int
+    arrival_rounds: int
+    stats: Dict[str, int] = field(default_factory=dict, repr=False)
+    queue_history: Optional[np.ndarray] = field(default=None, repr=False)
+    assignment: Optional[np.ndarray] = field(default=None, repr=False)
+
+
+def _validate_batch(srcs, dsts, demands, switch, t: int) -> None:
+    """Reject out-of-range ports / over-kappa demands at arrival time
+    (the streaming analogue of ``Instance.create`` validation)."""
+    if int(srcs.min()) < 0 or int(srcs.max()) >= switch.num_inputs:
+        raise ValueError(
+            f"round {t}: src port out of range for {switch.num_inputs} inputs"
+        )
+    if int(dsts.min()) < 0 or int(dsts.max()) >= switch.num_outputs:
+        raise ValueError(
+            f"round {t}: dst port out of range for {switch.num_outputs} outputs"
+        )
+    if int(demands.min()) < 1:
+        raise ValueError(f"round {t}: demands must be >= 1")
+    kappa = np.minimum(
+        switch.input_capacities[srcs], switch.output_capacities[dsts]
+    )
+    if (demands > kappa).any():
+        i = int(np.flatnonzero(demands > kappa)[0])
+        raise ValueError(
+            f"round {t}: flow demand {int(demands[i])} exceeds kappa_e = "
+            f"min(c_{int(srcs[i])}, c_{int(dsts[i])}) = {int(kappa[i])}"
+        )
+
+
+def simulate_stream(
+    stream,
+    policy: OnlinePolicy,
+    arrival_rounds: Optional[int] = None,
+    max_rounds: Optional[int] = None,
+    record_schedule: bool = False,
+    record_queue_history: bool = False,
+    timer: Optional[Timer] = None,
+) -> StreamSimulationResult:
+    """Run ``policy`` online over an arrival *stream*.
+
+    The streaming sibling of :func:`simulate`: instead of an
+    :class:`~repro.core.instance.Instance` materialized before round 0,
+    ``stream`` (any iterable of per-round ``(srcs, dsts, demands)``
+    batches with a ``.switch`` attribute — e.g. a
+    :class:`repro.scenarios.ArrivalStream`) is consumed lazily, one
+    round at a time, and finished flows are reclaimed — peak memory is
+    O(active flows), not O(horizon), so unbounded horizons are
+    first-class.  On any bounded prefix the selections are byte-identical
+    to :func:`simulate` on the materialized instance: arrivals enter the
+    queue in the same order, the policies see the same arrays, and local
+    fids order exactly like materialized fids.
+
+    Parameters
+    ----------
+    stream:
+        The arrival source.  Batches after ``arrival_rounds`` (or the
+        stream's own bound) are not consumed.
+    policy:
+        Any :class:`~repro.online.policies.OnlinePolicy`; built-in
+        policies run their array fast paths unchanged.
+    arrival_rounds:
+        How many arrival rounds to consume; defaults to the stream's
+        ``rounds`` bound.  An unbounded stream requires it.
+    max_rounds:
+        Safety cap on *simulated* rounds (``RuntimeError`` beyond it —
+        it bounds runaway policies, it does not bound the stream).
+        Once arrivals end, a starvation guard of ``2 * waiting + 2``
+        further rounds applies regardless.
+    record_schedule / record_queue_history:
+        Retain the full assignment / per-round queue depths (O(flows) /
+        O(rounds) memory — for tests and bounded runs).
+    timer:
+        Optional :class:`~repro.utils.timing.Timer` (``sim_round``
+        events, plus policy events).
+
+    Returns
+    -------
+    StreamSimulationResult
+    """
+    switch = stream.switch
+    limit = arrival_rounds
+    if limit is None:
+        limit = getattr(stream, "rounds", None)
+    if limit is None:
+        raise ValueError("unbounded stream: pass arrival_rounds=")
+
+    queue = StreamFlowQueue(switch)
+    view = _StreamView(switch)
+    stats: Dict[str, int] = {}
+    bind = getattr(policy, "bind_runtime", None)
+    if bind is not None:
+        bind(timer, stats)
+    policy.reset(view)
+    select_fast = getattr(policy, "select_fast", None)
+
+    it = iter(stream)
+    exhausted = False
+    t = 0
+    arrived = 0
+    consumed = 0  # arrival rounds actually pulled from the stream
+    total_resp = 0
+    max_resp = 0
+    makespan = 0
+    assigned: Dict[int, int] = {}
+    history: List[int] = []
+    drain_deadline: Optional[int] = None
+    # Legacy-dict fallback support: Flow objects per *global* fid, built
+    # once per flow and dropped when it schedules (stays O(active)).
+    flow_cache: Dict[int, "Flow"] = {}
+    from repro.core.flow import Flow
+
+    while True:
+        # Timer window matches simulate(): arrival ingestion (incl.
+        # validation and rebases) counts as round work.
+        round_start = time.perf_counter() if timer is not None else 0.0
+        if not exhausted:
+            if limit is not None and t >= limit:
+                exhausted = True
+            else:
+                try:
+                    batch = next(it)
+                except StopIteration:
+                    exhausted = True
+                else:
+                    consumed = t + 1
+                    srcs = np.asarray(batch[0], dtype=np.int64)
+                    dsts = np.asarray(batch[1], dtype=np.int64)
+                    demands = np.asarray(batch[2], dtype=np.int64)
+                    if srcs.size:
+                        _validate_batch(srcs, dsts, demands, switch, t)
+                        fids = queue.extend_flows(srcs, dsts, demands, t)
+                        queue.arrive(fids)
+                        arrived += int(srcs.size)
+        if exhausted:
+            if queue.n_alive == 0:
+                break
+            if drain_deadline is None:
+                drain_deadline = t + 2 * queue.n_alive + 2
+            elif t > drain_deadline:
+                raise RuntimeError(
+                    f"policy {policy.name} failed to drain the queue "
+                    f"({queue.n_alive} flows waiting at round {t})"
+                )
+        if max_rounds is not None and t >= max_rounds:
+            raise RuntimeError(
+                f"policy {policy.name} exceeded {max_rounds} rounds with "
+                f"{queue.n_alive} flows waiting"
+            )
+        if record_queue_history:
+            history.append(queue.n_alive)
+        if queue.n_alive:
+            chosen = None
+            if select_fast is not None:
+                chosen = select_fast(t, queue, view)
+            if chosen is None:
+                # Legacy dict interface: materialize the waiting dict in
+                # arrival order from the queue's window arrays, reusing
+                # cached Flow objects (rebuilt only when a rebase shifted
+                # the flow's local fid — policies read ``f.fid``).
+                offset = queue.global_offset
+                waiting = {}
+                for fid in queue.alive_fids().tolist():
+                    flow = flow_cache.get(fid + offset)
+                    if flow is None or flow.fid != fid:
+                        flow = Flow(
+                            int(queue.srcs[fid]),
+                            int(queue.dsts[fid]),
+                            int(queue.demands[fid]),
+                            int(queue.releases[fid]),
+                            fid,
+                        )
+                        flow_cache[fid + offset] = flow
+                    waiting[fid] = flow
+                chosen = policy.select(t, waiting, view)
+            if not isinstance(chosen, np.ndarray):
+                chosen = np.asarray(list(chosen), dtype=np.int64)
+            _check_feasible(chosen, queue, switch, policy.name, t)
+            if chosen.size:
+                resp = (t + 1) - queue.releases[chosen]
+                total_resp += int(resp.sum())
+                peak = int(resp.max())
+                if peak > max_resp:
+                    max_resp = peak
+                makespan = t + 1
+                offset = queue.global_offset
+                if record_schedule:
+                    for fid in chosen.tolist():
+                        assigned[fid + offset] = t
+                if flow_cache:
+                    for fid in chosen.tolist():
+                        flow_cache.pop(fid + offset, None)
+                queue.remove(chosen)
+        if timer is not None:
+            timer.add("sim_round", time.perf_counter() - round_start)
+        t += 1
+
+    # The loop may have walked empty trailing arrival rounds after the
+    # last flow was scheduled (it cannot know the tail is empty without
+    # consuming it); the materialized simulator stops at the drain
+    # point, which is exactly the makespan — report that, and trim the
+    # (all-zero) history tail to match byte for byte.
+    stats["sim_rounds"] = makespan
+    stats["compactions"] = queue.compactions
+    stats["rebases"] = queue.rebases
+    stats["peak_alive"] = queue.peak_alive
+    stats["peak_buffer"] = queue.peak_buffer
+    del history[makespan:]
+    metrics = ScheduleMetrics(
+        num_flows=arrived,
+        total_response=total_resp,
+        average_response=(total_resp / arrived) if arrived else 0.0,
+        max_response=max_resp,
+        makespan=makespan,
+        max_augmentation=0,
+    )
+    assignment = None
+    if record_schedule:
+        assignment = np.full(arrived, -1, dtype=np.int64)
+        for gfid, round_ in assigned.items():
+            assignment[gfid] = round_
+    return StreamSimulationResult(
+        metrics=metrics,
+        rounds=makespan,
+        arrival_rounds=consumed,
+        stats=stats,
+        queue_history=(
+            np.asarray(history, dtype=np.int64)
+            if record_queue_history
+            else None
+        ),
+        assignment=assignment,
     )

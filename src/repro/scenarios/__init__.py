@@ -1,0 +1,89 @@
+"""Declarative scenarios: specs, registry, streams, and trace ingestion.
+
+The pieces (see each module's docstring for details):
+
+* :class:`~repro.scenarios.spec.ScenarioSpec` /
+  :func:`~repro.scenarios.spec.parse_scenario` — JSON-round-trippable,
+  schema-versioned description of a workload (switch shape, arrival
+  process, demand distribution, horizon);
+* :func:`~repro.scenarios.registry.register_scenario` /
+  :func:`~repro.scenarios.registry.build_stream` /
+  :func:`~repro.scenarios.registry.build_instance` — decorator registry
+  pre-loaded with the built-in library
+  (:mod:`repro.scenarios.library`: paper-default, permutation, hotspot,
+  incast, onoff-bursty, diurnal, heavy-tailed, trace-replay);
+* :class:`~repro.scenarios.stream.ArrivalStream` — lazy per-round
+  arrival batches with composition transforms (``thinned`` / ``scaled``
+  / ``merged`` / ``time_warped`` / ``take``) and a bounded
+  ``materialize()`` adapter for the offline solvers;
+* :mod:`repro.scenarios.ingest` — CSV coflow-trace ingestion into the
+  same stream protocol.
+
+Quick start
+-----------
+>>> from repro.scenarios import build_instance, build_stream, list_scenarios
+>>> "hotspot" in list_scenarios()
+True
+>>> inst = build_instance("hotspot:ports=8,mean=4,horizon=6", seed=1)
+>>> inst.switch.num_inputs
+8
+>>> stream = build_stream("paper-default:ports=8,mean=4", seed=1)
+>>> stream.rounds
+32
+"""
+
+from repro.scenarios.spec import (
+    SCENARIO_SPEC_VERSION,
+    ScenarioSpec,
+    parse_scenario,
+)
+from repro.scenarios.stream import (
+    ArrivalStream,
+    Batch,
+    EMPTY_BATCH,
+    make_batch,
+    merge_streams,
+)
+from repro.scenarios.registry import (
+    ScenarioEntry,
+    build_instance,
+    build_stream,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    unregister_scenario,
+)
+from repro.scenarios.ingest import (
+    example_trace_rows,
+    load_csv_trace,
+    rows_to_stream,
+    write_example_trace,
+)
+
+# Importing the library registers every builtin scenario.  Eager on
+# purpose, mirroring repro.api: any path to the registry imports this
+# package first, so builtins are always present before user code can
+# register or look up a scenario.
+from repro.scenarios import library as _library  # noqa: F401  (side effect)
+
+__all__ = [
+    "SCENARIO_SPEC_VERSION",
+    "ScenarioSpec",
+    "parse_scenario",
+    "ArrivalStream",
+    "Batch",
+    "EMPTY_BATCH",
+    "make_batch",
+    "merge_streams",
+    "ScenarioEntry",
+    "register_scenario",
+    "unregister_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "build_stream",
+    "build_instance",
+    "example_trace_rows",
+    "load_csv_trace",
+    "rows_to_stream",
+    "write_example_trace",
+]

@@ -1,0 +1,203 @@
+"""Decorator-based scenario registry.
+
+Mirrors the solver registry (:mod:`repro.api.registry`): a scenario is
+registered under a name with a *builder* function producing an
+:class:`~repro.scenarios.stream.ArrivalStream` from a resolved spec.
+
+Usage::
+
+    from repro.scenarios import register_scenario, build_stream
+
+    @register_scenario(
+        "my-traffic",
+        defaults={"mean": 8.0},
+        num_ports=24, capacity=1, horizon=32,
+    )
+    def my_traffic(spec, switch, params, horizon, seed):
+        '''One-line summary shown by ``repro scenarios list``.'''
+        def factory():
+            rng = make_rng(seed)
+            while True:
+                k = int(rng.poisson(params["mean"]))
+                yield make_batch(rng.integers(0, m, k), rng.integers(0, m, k))
+        return ArrivalStream(switch, factory, rounds=horizon, label="my-traffic")
+
+    stream = build_stream(parse_scenario("my-traffic:mean=16"), seed=7)
+
+Builders receive the originating spec, the fully-resolved switch,
+params (registered defaults overlaid with the spec's), horizon
+(``None`` = unbounded), and an integer seed; they must return a
+*deterministic, re-iterable* stream (derive all RNG state from ``seed``
+inside the factory).  A scenario registered with ``num_ports=None``
+derives its own switch shape (e.g. from a trace file): it receives
+``switch=None`` plus whatever ``spec.num_ports`` / ``spec.capacity``
+the user pinned, and must honor those pins itself.  The built-in
+library (:mod:`repro.scenarios.library`) is registered eagerly when
+:mod:`repro.scenarios` is imported, exactly like the solver adapters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.core.switch import Switch
+from repro.scenarios.spec import ScenarioSpec, parse_scenario
+from repro.scenarios.stream import ArrivalStream
+
+#: Builder signature: (spec, switch, params, horizon, seed) -> ArrivalStream.
+#: ``switch`` is None for shape-deriving scenarios (entry num_ports=None).
+ScenarioBuilder = Callable[
+    [ScenarioSpec, Optional[Switch], Dict[str, Any], Optional[int], int],
+    ArrivalStream,
+]
+
+
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """One registered scenario: builder plus resolution defaults.
+
+    ``num_ports=None`` (always together with ``capacity=None``,
+    enforced by :func:`register_scenario`) marks a *shape-deriving*
+    scenario: the builder determines the whole switch itself — e.g.
+    from a trace file — honoring any spec pins.
+    """
+
+    name: str
+    builder: ScenarioBuilder
+    defaults: Mapping[str, Any]
+    num_ports: Optional[int]
+    capacity: Optional[int]
+    horizon: Optional[int]
+
+    @property
+    def summary(self) -> str:
+        """First docstring line of the builder (shown by the CLI)."""
+        doc = (self.builder.__doc__ or "").strip()
+        return doc.splitlines()[0] if doc else ""
+
+    def resolve(self, spec: ScenarioSpec) -> tuple:
+        """``(switch, params, horizon)`` for ``spec`` over this entry.
+
+        Spec fields override the entry defaults; unknown spec params
+        raise with the known names, so typos fail instead of being
+        silently ignored.  ``switch`` is ``None`` for shape-deriving
+        scenarios (the builder reads the spec's pins directly).
+        """
+        params = dict(self.defaults)
+        unknown = [k for k in spec.param_dict if k not in params]
+        if unknown:
+            raise ValueError(
+                f"scenario {self.name!r} got unknown parameter(s) "
+                f"{sorted(unknown)}; known: {sorted(params)}"
+            )
+        params.update(spec.param_dict)
+        num_ports = spec.num_ports if spec.num_ports is not None else self.num_ports
+        capacity = spec.capacity if spec.capacity is not None else self.capacity
+        horizon = spec.horizon if spec.horizon is not None else self.horizon
+        if self.num_ports is None:
+            switch = None
+        else:
+            # Fixed-shape entries carry a concrete capacity
+            # (register_scenario enforces the pairing), so both
+            # resolved values are ints here.
+            switch = Switch.create(num_ports, num_ports, capacity)
+        return switch, params, horizon
+
+
+#: name -> ScenarioEntry.
+_REGISTRY: Dict[str, ScenarioEntry] = {}
+
+
+def register_scenario(
+    name: str,
+    defaults: Optional[Mapping[str, Any]] = None,
+    num_ports: Optional[int] = 24,
+    capacity: Optional[int] = 1,
+    horizon: Optional[int] = 32,
+):
+    """Class/function decorator registering a scenario builder.
+
+    ``defaults`` declares every accepted param with its default value;
+    ``num_ports``/``capacity``/``horizon`` are the spec-field defaults
+    used when the spec leaves them ``None``.  ``num_ports=None`` marks a
+    shape-deriving scenario (see :class:`ScenarioEntry`) and requires
+    ``capacity=None`` too — the builder owns the whole switch shape or
+    none of it.  Duplicate names raise ``ValueError`` — plugins must
+    pick fresh names or call :func:`unregister_scenario` first.
+    """
+    if (num_ports is None) != (capacity is None):
+        raise ValueError(
+            f"scenario {name!r}: num_ports and capacity must be both set "
+            "(fixed-shape) or both None (shape-deriving), got "
+            f"num_ports={num_ports!r}, capacity={capacity!r}"
+        )
+
+    def _register(builder: ScenarioBuilder) -> ScenarioBuilder:
+        if not callable(builder):
+            raise TypeError(f"scenario builder for {name!r} must be callable")
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} is already registered")
+        _REGISTRY[name] = ScenarioEntry(
+            name=name,
+            builder=builder,
+            defaults=dict(defaults or {}),
+            num_ports=num_ports,
+            capacity=capacity,
+            horizon=horizon,
+        )
+        return builder
+
+    return _register
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove ``name`` from the registry (no-op if absent)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_scenario(name: str) -> ScenarioEntry:
+    """The entry registered under ``name`` (with the known names on miss)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {list_scenarios()}"
+        ) from None
+
+
+def list_scenarios() -> List[str]:
+    """Sorted names of all registered scenarios."""
+    return sorted(_REGISTRY)
+
+
+def build_stream(
+    spec: "ScenarioSpec | str", seed: int = 0
+) -> ArrivalStream:
+    """Build the arrival stream described by ``spec``.
+
+    ``spec`` may be a :class:`ScenarioSpec` or the compact text form.
+    The same ``(spec, seed)`` always yields the same stream — the seed
+    is the only randomness source a builder may use.
+    """
+    spec = parse_scenario(spec) if isinstance(spec, str) else spec
+    entry = get_scenario(spec.scenario)
+    switch, params, horizon = entry.resolve(spec)
+    stream = entry.builder(spec, switch, params, horizon, int(seed))
+    if horizon is not None and (
+        stream.rounds is None or stream.rounds > horizon
+    ):
+        stream = stream.take(horizon)
+    return stream
+
+
+def build_instance(
+    spec: "ScenarioSpec | str", seed: int = 0, rounds: Optional[int] = None
+):
+    """Materialize ``spec`` as a bounded :class:`~repro.core.instance.
+    Instance` (the adapter the offline solvers and sweeps consume).
+
+    ``rounds`` overrides the spec/entry horizon; an unbounded spec
+    without ``rounds`` raises.
+    """
+    return build_stream(spec, seed=seed).materialize(rounds)

@@ -1,0 +1,234 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is a small, JSON-serializable value describing a
+workload to generate: which registered scenario (arrival process +
+demand distribution), the switch shape (``num_ports`` × ``num_ports``
+with uniform ``capacity``), how many arrival rounds (``horizon``;
+``None`` leaves the stream unbounded), and scenario-specific ``params``.
+
+Specs round-trip through :meth:`ScenarioSpec.to_dict` /
+:meth:`ScenarioSpec.from_dict` with an explicit ``schema_version`` so
+stored specs (result-store keys, experiment configs, CLI history) fail
+loudly instead of silently drifting when the schema evolves, and have a
+canonical :meth:`ScenarioSpec.digest` for cache addressing.
+
+The CLI accepts the compact text form parsed by :func:`parse_scenario`::
+
+    paper-default
+    hotspot:ports=32,mean=48,zipf_exponent=1.5
+    trace-replay:path=shuffle.csv,round_length=0.5,horizon=200
+
+``ports`` (or ``num_ports``), ``capacity``, and ``horizon`` bind the
+spec fields; every other ``key=value`` lands in ``params`` (values are
+parsed as JSON when possible, kept as strings otherwise).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Optional, Tuple
+
+#: Version stamp written by ``to_dict`` and required by ``from_dict``.
+SCENARIO_SPEC_VERSION = 1
+
+#: Spec fields settable from the compact ``k=v`` syntax (aliases allowed).
+_FIELD_KEYS = {
+    "ports": "num_ports",
+    "num_ports": "num_ports",
+    "capacity": "capacity",
+    "horizon": "horizon",
+}
+
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+def _check_optional_positive(value: Optional[int], name: str) -> Optional[int]:
+    if value is None:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise ValueError(f"{name} must be a positive int or None, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declarative description of one workload scenario.
+
+    Attributes
+    ----------
+    scenario:
+        Registry name (see :func:`repro.scenarios.list_scenarios`).
+    num_ports / capacity / horizon:
+        Switch shape and arrival-round count.  ``None`` defers to the
+        scenario's registered defaults; an explicit ``horizon`` bounds
+        the stream (and is what the bounded :func:`~repro.scenarios.
+        build_instance` adapter materializes).
+    params:
+        Scenario-specific knobs as a sorted ``(key, value)`` tuple
+        (hashable); construct with a plain dict — it is normalized.
+    """
+
+    scenario: str
+    num_ports: Optional[int] = None
+    capacity: Optional[int] = None
+    horizon: Optional[int] = None
+    params: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.scenario or not isinstance(self.scenario, str):
+            raise ValueError(f"scenario name must be a non-empty string, "
+                             f"got {self.scenario!r}")
+        _check_optional_positive(self.num_ports, "num_ports")
+        _check_optional_positive(self.capacity, "capacity")
+        _check_optional_positive(self.horizon, "horizon")
+        params = self.params
+        if isinstance(params, Mapping):
+            items = params.items()
+        else:
+            items = tuple(params)
+        normalized = []
+        for key, value in sorted(items):
+            if not isinstance(key, str) or not key:
+                raise ValueError(f"param keys must be non-empty strings, "
+                                 f"got {key!r}")
+            if not isinstance(value, _SCALAR_TYPES):
+                raise ValueError(
+                    f"param {key!r} must be a JSON scalar "
+                    f"(str/int/float/bool/None), got {type(value).__name__}"
+                )
+            normalized.append((key, value))
+        object.__setattr__(self, "params", tuple(normalized))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def param_dict(self) -> dict:
+        """The ``params`` tuple as a plain dict."""
+        return dict(self.params)
+
+    def with_overrides(self, **changes: Any) -> "ScenarioSpec":
+        """Copy with field overrides; ``params`` merges instead of replacing."""
+        params = changes.pop("params", None)
+        spec = replace(self, **changes) if changes else self
+        if params is not None:
+            merged = spec.param_dict
+            merged.update(params)
+            spec = replace(spec, params=tuple(sorted(merged.items())))
+        return spec
+
+    def label(self) -> str:
+        """Compact human-readable form (inverse-ish of :func:`parse_scenario`)."""
+        parts = []
+        if self.num_ports is not None:
+            parts.append(f"ports={self.num_ports}")
+        if self.capacity is not None:
+            parts.append(f"capacity={self.capacity}")
+        if self.horizon is not None:
+            parts.append(f"horizon={self.horizon}")
+        parts.extend(f"{k}={v}" for k, v in self.params)
+        if not parts:
+            return self.scenario
+        return f"{self.scenario}:" + ",".join(parts)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (schema-versioned)."""
+        return {
+            "schema_version": SCENARIO_SPEC_VERSION,
+            "scenario": self.scenario,
+            "num_ports": self.num_ports,
+            "capacity": self.capacity,
+            "horizon": self.horizon,
+            "params": self.param_dict,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "ScenarioSpec":
+        """Inverse of :meth:`to_dict`; validates the schema version."""
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"scenario spec must be a mapping, got {type(data).__name__}"
+            )
+        version = data.get("schema_version", SCENARIO_SPEC_VERSION)
+        if version != SCENARIO_SPEC_VERSION:
+            raise ValueError(
+                f"unsupported scenario spec schema_version {version!r} "
+                f"(this build reads version {SCENARIO_SPEC_VERSION})"
+            )
+        try:
+            name = data["scenario"]
+        except KeyError:
+            raise ValueError("scenario spec is missing the 'scenario' field")
+        unknown = set(data) - {
+            "schema_version", "scenario", "num_ports", "capacity",
+            "horizon", "params",
+        }
+        if unknown:
+            raise ValueError(
+                f"scenario spec has unknown fields {sorted(unknown)}"
+            )
+        return ScenarioSpec(
+            scenario=name,
+            num_ports=data.get("num_ports"),
+            capacity=data.get("capacity"),
+            horizon=data.get("horizon"),
+            params=dict(data.get("params") or {}),
+        )
+
+    def digest(self) -> str:
+        """Canonical content digest (hex SHA-256 of the sorted-key JSON).
+
+        Used to derive per-(spec, trial) seeds and as part of result-store
+        addressing, so two logically equal specs always share a digest.
+        """
+        payload = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ScenarioSpec({self.label()})"
+
+
+def parse_scenario(text: str) -> ScenarioSpec:
+    """Parse the compact CLI form ``NAME[:key=value,...]``.
+
+    ``ports``/``num_ports``, ``capacity``, and ``horizon`` set the spec
+    fields; other keys become scenario params.  Values are JSON-decoded
+    when possible (``mean=12.5`` → float, ``target=null`` → None) and
+    kept as strings otherwise (``path=trace.csv``).
+    """
+    if isinstance(text, ScenarioSpec):
+        return text
+    if not isinstance(text, str) or not text.strip():
+        raise ValueError(f"scenario spec must be 'NAME[:k=v,...]', got {text!r}")
+    name, sep, rest = text.strip().partition(":")
+    fields: dict = {}
+    params: dict = {}
+    if sep:
+        for pair in rest.split(","):
+            if not pair:
+                continue
+            key, eq, raw = pair.partition("=")
+            key = key.strip()
+            if not eq or not key:
+                raise ValueError(
+                    f"bad scenario option {pair!r} in {text!r}: "
+                    "expected key=value"
+                )
+            try:
+                value = json.loads(raw)
+            except json.JSONDecodeError:
+                value = raw
+            if key in _FIELD_KEYS:
+                fields[_FIELD_KEYS[key]] = value
+            else:
+                params[key] = value
+    return ScenarioSpec(scenario=name, params=params, **fields)

@@ -15,7 +15,12 @@ from repro.workloads.synthetic import (
     permutation_workload,
     poisson_uniform_workload,
 )
-from repro.workloads.trace import load_trace, save_trace
+from repro.workloads.trace import (
+    TRACE_SCHEMA_VERSION,
+    TraceFormatError,
+    load_trace,
+    save_trace,
+)
 
 __all__ = [
     "poisson_uniform_workload",
@@ -25,4 +30,6 @@ __all__ = [
     "incast_workload",
     "save_trace",
     "load_trace",
+    "TraceFormatError",
+    "TRACE_SCHEMA_VERSION",
 ]

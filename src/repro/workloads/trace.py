@@ -6,20 +6,77 @@ Hadoop traces used by the coflow papers).  To keep experiments
 reproducible and to let downstream users plug in their own traces, any
 :class:`~repro.core.instance.Instance` can be serialized to a JSON trace
 and replayed bit-identically.
+
+Traces written by :func:`save_trace` carry a ``schema_version`` stamp;
+:func:`load_trace` accepts stamped and legacy (unstamped) traces and
+raises :class:`TraceFormatError` — naming the path and the offending
+field — on malformed or version-mismatched input instead of letting a
+raw ``KeyError`` escape.  External CSV traces go through
+:mod:`repro.scenarios.ingest` instead.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 from repro.core.instance import Instance
 
+#: Version stamp written by :func:`save_trace` / read by :func:`load_trace`.
+TRACE_SCHEMA_VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """A trace file exists but cannot be parsed as a valid trace.
+
+    Subclasses ``ValueError`` so CLI error handling (which exits cleanly
+    on predictable user errors) catches it without special-casing.
+    """
+
 
 def save_trace(instance: Instance, path: str | Path) -> None:
-    """Record ``instance`` (switch + flows) to a JSON trace file."""
-    instance.save_json(path)
+    """Record ``instance`` (switch + flows) to a JSON trace file.
+
+    The payload is :meth:`Instance.to_dict` plus a ``schema_version``
+    stamp (the stamp lives only in the file — it is not part of the
+    instance content, so :meth:`Instance.digest` is unaffected).
+    """
+    data = instance.to_dict()
+    data["schema_version"] = TRACE_SCHEMA_VERSION
+    Path(path).write_text(json.dumps(data, indent=1))
 
 
 def load_trace(path: str | Path) -> Instance:
-    """Replay a trace previously written by :func:`save_trace`."""
-    return Instance.load_json(path)
+    """Replay a trace previously written by :func:`save_trace`.
+
+    Raises
+    ------
+    TraceFormatError
+        On invalid JSON, an unsupported ``schema_version``, or a missing
+        / malformed field — always naming ``path`` and, where known, the
+        offending field.  (A missing *file* still raises ``OSError``.)
+    """
+    text = Path(path).read_text()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"{path}: not valid JSON ({exc})") from None
+    if not isinstance(data, dict):
+        raise TraceFormatError(
+            f"{path}: trace must be a JSON object, got "
+            f"{type(data).__name__}"
+        )
+    version = data.get("schema_version", TRACE_SCHEMA_VERSION)
+    if version != TRACE_SCHEMA_VERSION:
+        raise TraceFormatError(
+            f"{path}: unsupported trace schema_version {version!r} "
+            f"(this build reads version {TRACE_SCHEMA_VERSION})"
+        )
+    try:
+        return Instance.from_dict(data)
+    except KeyError as exc:
+        raise TraceFormatError(
+            f"{path}: missing trace field {exc.args[0]!r}"
+        ) from None
+    except (TypeError, ValueError) as exc:
+        raise TraceFormatError(f"{path}: {exc}") from None

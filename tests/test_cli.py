@@ -200,6 +200,84 @@ class TestCommands:
         assert first == second  # cache-warm rerun renders identically
         assert list((tmp_path / "cache").glob("results-*.jsonl"))
 
+    def test_solve_scenario(self, capsys):
+        assert (
+            main(["solve", "--scenario", "hotspot:ports=8,mean=4,horizon=5",
+                  "--solver", "MaxCard"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "solver MaxCard (online)" in out
+
+    def test_solve_scenario_seed_changes_instance(self, capsys):
+        outs = []
+        for seed in ("1", "2"):
+            assert (
+                main(["solve", "--scenario",
+                      "paper-default:ports=8,mean=4,horizon=5",
+                      "--seed", seed, "--solver", "Greedy"])
+                == 0
+            )
+            outs.append(capsys.readouterr().out)
+        assert outs[0] != outs[1]
+
+    def test_solve_rejects_trace_and_scenario(self, trace):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["solve", str(trace), "--scenario", "paper-default"])
+
+    def test_solve_rejects_neither(self):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["solve"])
+
+    def test_solve_unknown_scenario_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["solve", "--scenario", "frobnicate"])
+
+    def test_solve_bad_scenario_param_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="unknown parameter"):
+            main(["solve", "--scenario", "paper-default:typo=1"])
+
+    def test_scenarios_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("paper-default", "hotspot", "incast", "trace-replay",
+                     "onoff-bursty", "diurnal", "heavy-tailed",
+                     "permutation"):
+            assert name in out
+        assert "defaults:" in out
+
+    def test_scenarios_list_json(self, capsys):
+        assert main(["scenarios", "list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [entry["name"] for entry in payload]
+        assert "paper-default" in names and names == sorted(names)
+        by_name = {e["name"]: e for e in payload}
+        assert by_name["hotspot"]["params"]["zipf_exponent"] == 1.2
+        assert by_name["trace-replay"]["horizon"] is None
+
+    def test_list_solvers_json(self, capsys):
+        assert main(["list-solvers", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"offline", "online", "coflow"}
+        online = {entry["name"] for entry in payload["online"]}
+        assert {"MaxCard", "MaxWeight", "AMRT"} <= online
+        assert all("summary" in e for k in payload for e in payload[k])
+
+    def test_generate_rejects_poisson_flags_with_scenario(self, tmp_path):
+        with pytest.raises(SystemExit, match="ports=32,horizon=20"):
+            main(["generate", str(tmp_path / "t.json"),
+                  "--scenario", "hotspot", "--ports", "48"])
+
+    def test_generate_scenario_trace_round_trips(self, tmp_path, capsys):
+        out = tmp_path / "scenario.json"
+        assert (
+            main(["generate", str(out), "--scenario",
+                  "permutation:ports=6,horizon=4", "--seed", "3"])
+            == 0
+        )
+        assert "wrote" in capsys.readouterr().out
+        assert main(["solve", str(out), "--solver", "Greedy"]) == 0
+
     def test_module_invocation(self, trace):
         result = subprocess.run(
             [sys.executable, "-m", "repro", "simulate", str(trace)],

@@ -30,6 +30,11 @@ def _run(script: str, *args: str) -> subprocess.CompletedProcess:
         ("deadline_scheduling.py", (), "tightness"),
         ("hardness_demo.py", (), "4/3 gap"),
         ("coflow_shuffle.py", (), "best average co-flow response"),
+        (
+            "scenario_zoo.py",
+            ("--ports", "6", "--horizon", "6"),
+            "CSV trace replay",
+        ),
     ],
 )
 def test_example_runs(script, args, expect):

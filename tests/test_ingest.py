@@ -1,0 +1,184 @@
+"""Tests for CSV coflow-trace ingestion (repro.scenarios.ingest)."""
+
+import numpy as np
+import pytest
+
+from repro.online.policies import make_policy
+from repro.online.simulator import simulate_stream
+from repro.scenarios import build_instance, load_csv_trace, rows_to_stream
+from repro.scenarios.ingest import example_trace_rows, write_example_trace
+from repro.workloads.trace import TraceFormatError
+
+
+def _write(tmp_path, text, name="trace.csv"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+GOOD = """arrival_time,src,dst,bytes
+0.0,0,3,1000
+0.4,1,3,2000
+1.2,2,0,500
+3.0,0,1,4000
+"""
+
+
+class TestLoadCsvTrace:
+    def test_basic_quantization(self, tmp_path):
+        path = _write(tmp_path, GOOD)
+        stream = load_csv_trace(path)
+        inst = stream.materialize()
+        # floor(arrival / 1.0): rounds 0, 0, 1, 3
+        assert inst.releases().tolist() == [0, 0, 1, 3]
+        assert inst.num_flows == 4
+        # default: unit demands, ports from max id + 1
+        assert (inst.demands() == 1).all()
+        assert inst.switch.num_inputs == 4
+        assert stream.rounds == 4
+
+    def test_round_length_scales_releases(self, tmp_path):
+        path = _write(tmp_path, GOOD)
+        inst = load_csv_trace(path, round_length=0.5).materialize()
+        assert inst.releases().tolist() == [0, 0, 2, 6]
+
+    def test_bytes_per_unit_sets_demands_and_capacity(self, tmp_path):
+        path = _write(tmp_path, GOOD)
+        stream = load_csv_trace(path, bytes_per_unit=1000)
+        inst = stream.materialize()
+        # ceil(bytes/1000): 1, 2, 1, 4; capacity defaults to max demand
+        assert inst.demands().tolist() == [1, 2, 1, 4]
+        assert inst.switch.input_capacity(0) == 4
+
+    def test_within_round_order_is_stable(self, tmp_path):
+        # Two same-round flows listed out of arrival_time order keep
+        # their file order (quantization is the only reordering key).
+        path = _write(
+            tmp_path,
+            "arrival_time,src,dst,bytes\n0.9,1,2,10\n0.1,2,1,10\n",
+        )
+        inst = load_csv_trace(path).materialize()
+        assert [(f.src, f.dst) for f in inst.flows] == [(1, 2), (2, 1)]
+
+    def test_explicit_num_ports_too_small(self, tmp_path):
+        path = _write(tmp_path, GOOD)
+        with pytest.raises(TraceFormatError, match="port id out of range"):
+            load_csv_trace(path, num_ports=2)
+
+    def test_explicit_capacity_too_small(self, tmp_path):
+        path = _write(tmp_path, GOOD)
+        with pytest.raises(TraceFormatError, match="exceeds capacity"):
+            load_csv_trace(path, bytes_per_unit=1000, capacity=2)
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_csv_trace(tmp_path / "nope.csv")
+
+
+class TestMalformedInput:
+    def test_empty_file(self, tmp_path):
+        path = _write(tmp_path, "")
+        with pytest.raises(TraceFormatError, match="empty trace"):
+            load_csv_trace(path)
+
+    def test_bad_header(self, tmp_path):
+        path = _write(tmp_path, "time,from,to,size\n0,0,1,10\n")
+        with pytest.raises(TraceFormatError, match="bad header"):
+            load_csv_trace(path)
+
+    def test_wrong_field_count(self, tmp_path):
+        path = _write(tmp_path, "arrival_time,src,dst,bytes\n0,0,1\n")
+        with pytest.raises(TraceFormatError, match="line 2"):
+            load_csv_trace(path)
+
+    @pytest.mark.parametrize(
+        "row,field",
+        [
+            ("x,0,1,10", "arrival_time"),
+            ("-1,0,1,10", "arrival_time"),
+            ("0,a,1,10", "src"),
+            ("0,-2,1,10", "src"),
+            ("0,0,b,10", "dst"),
+            ("0,0,1,0", "bytes"),
+            ("0,0,1,ten", "bytes"),
+        ],
+    )
+    def test_bad_values_name_the_field(self, tmp_path, row, field):
+        path = _write(tmp_path, f"arrival_time,src,dst,bytes\n{row}\n")
+        with pytest.raises(TraceFormatError) as err:
+            load_csv_trace(path)
+        message = str(err.value)
+        assert f"'{field}'" in message
+        assert str(path) in message
+        assert "line 2" in message
+
+
+class TestRowsToStream:
+    def test_empty_rows(self):
+        stream = rows_to_stream([])
+        assert stream.rounds == 0
+        assert stream.materialize().num_flows == 0
+
+    def test_bad_round_length(self):
+        with pytest.raises(ValueError, match="round_length"):
+            rows_to_stream([(0.0, 0, 1, 10)], round_length=0)
+
+    def test_stream_is_simulatable(self):
+        stream = rows_to_stream(example_trace_rows(num_ports=6, flows=30))
+        res = simulate_stream(stream, make_policy("MaxWeight"))
+        assert res.metrics.num_flows == 30
+
+
+class TestExampleTrace:
+    def test_write_and_reload_round_trip(self, tmp_path):
+        path = tmp_path / "sample.csv"
+        write_example_trace(path, num_ports=6, flows=25, seed=3)
+        inst = load_csv_trace(path).materialize()
+        direct = rows_to_stream(
+            example_trace_rows(num_ports=6, flows=25, seed=3),
+            origin=str(path),
+        ).materialize()
+        assert inst.digest() == direct.digest()
+        assert inst.num_flows == 25
+
+    def test_trace_replay_scenario_accepts_path(self, tmp_path):
+        path = tmp_path / "sample.csv"
+        write_example_trace(path, num_ports=6, flows=25, seed=3)
+        inst = build_instance(f"trace-replay:path={path}")
+        assert inst.num_flows == 25
+
+    def test_trace_replay_builtin_sample(self):
+        inst = build_instance("trace-replay", seed=0)
+        assert inst.num_flows > 0
+
+    def test_trace_replay_honors_spec_pins_on_file(self, tmp_path):
+        path = tmp_path / "sample.csv"
+        write_example_trace(path, num_ports=6, flows=25, seed=3)
+        inst = build_instance(
+            f"trace-replay:path={path},ports=32,capacity=4"
+        )
+        assert inst.switch.num_inputs == 32
+        assert inst.switch.input_capacity(0) == 4
+
+    def test_trace_replay_pinned_ports_too_small(self, tmp_path):
+        path = tmp_path / "sample.csv"
+        write_example_trace(path, num_ports=6, flows=25, seed=3)
+        with pytest.raises(TraceFormatError, match="port id out of range"):
+            build_instance(f"trace-replay:path={path},ports=2")
+
+    def test_trace_replay_builtin_honors_pins(self):
+        inst = build_instance("trace-replay:ports=5,capacity=3", seed=0)
+        assert inst.switch.num_inputs == 5
+        assert inst.switch.input_capacity(0) == 3
+
+    def test_trace_replay_sweepable_without_horizon(self):
+        """The stream is bounded by the trace, so scenario sweeps accept
+        it with no explicit horizon."""
+        from repro.api import Runner
+        from repro.experiments.config import smoke_config
+
+        cells = Runner(
+            smoke_config(trials=1), compute_lp_bounds=False
+        ).run_scenarios(["trace-replay"], solvers=["FIFO"])
+        (cell,) = cells.values()
+        assert cell.num_flows_mean > 0

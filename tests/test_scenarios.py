@@ -1,0 +1,364 @@
+"""Tests for the declarative scenario subsystem (repro.scenarios)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import Runner
+from repro.core.switch import Switch
+from repro.experiments.config import smoke_config
+from repro.experiments.harness import run_scenario_sweep
+from repro.scenarios import (
+    SCENARIO_SPEC_VERSION,
+    ArrivalStream,
+    ScenarioSpec,
+    build_instance,
+    build_stream,
+    get_scenario,
+    list_scenarios,
+    make_batch,
+    merge_streams,
+    parse_scenario,
+    register_scenario,
+    unregister_scenario,
+)
+
+ALL_SCENARIOS = (
+    "diurnal",
+    "heavy-tailed",
+    "hotspot",
+    "incast",
+    "onoff-bursty",
+    "paper-default",
+    "permutation",
+    "trace-replay",
+)
+
+#: Golden content digests: every registered scenario must generate a
+#: byte-identical Instance for (ports=8, horizon=6, seed=2020), across
+#: machines and runs.  A new scenario adds a row; changing an existing
+#: generator's output is a breaking change and must be deliberate.
+GOLDEN_DIGESTS = {
+    "diurnal": "ec1e9f02bed41ed59afd3a75b017b1d243ce51d0cf185e1f224ea09d09dd50fc",
+    "heavy-tailed": "bb0f16de77696c8666165fd19c41c81f77da7d760eac1211751d7547eba7c801",
+    "hotspot": "499c3f3d1775864468e9d3d6b995b89d7d4d43d105ba5ac0d9fd39fcac0f9841",
+    "incast": "8d2268efe71fac0fde27a5440bd72c870e70196540c002cce4f0572f5f40c279",
+    "onoff-bursty": "b65ee649214ac168f9f488815a49e3a14f631c465fe22911b2215908ef56ce0e",
+    "paper-default": "0e1efcc84002a83613c3179cea9efb412252b600f2f0168131f0f5377ec6faf4",
+    "permutation": "eb3325f204f1d985fe15340a73f6ce22229be07117c45d292940a9a6cea493ca",
+    "trace-replay": "8594eea092274436c17926955e76a23e163903bccdf99ec6a7977c0cea111a7e",
+}
+
+
+class TestScenarioSpec:
+    def test_round_trip(self):
+        spec = ScenarioSpec(
+            "hotspot", num_ports=32, horizon=10,
+            params={"mean": 48.0, "zipf_exponent": 1.5},
+        )
+        data = spec.to_dict()
+        assert data["schema_version"] == SCENARIO_SPEC_VERSION
+        assert ScenarioSpec.from_dict(data) == spec
+        # JSON round trip too
+        assert ScenarioSpec.from_dict(json.loads(json.dumps(data))) == spec
+
+    def test_version_mismatch_rejected(self):
+        data = ScenarioSpec("hotspot").to_dict()
+        data["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            ScenarioSpec.from_dict(data)
+
+    def test_missing_scenario_field(self):
+        with pytest.raises(ValueError, match="scenario"):
+            ScenarioSpec.from_dict({"schema_version": 1})
+
+    def test_unknown_field_rejected(self):
+        data = ScenarioSpec("hotspot").to_dict()
+        data["bogus"] = 1
+        with pytest.raises(ValueError, match="bogus"):
+            ScenarioSpec.from_dict(data)
+
+    def test_digest_is_content_addressed(self):
+        a = ScenarioSpec("hotspot", params={"mean": 4, "zipf_exponent": 2})
+        b = ScenarioSpec("hotspot", params={"zipf_exponent": 2, "mean": 4})
+        assert a.digest() == b.digest()
+        c = a.with_overrides(params={"mean": 5})
+        assert c.digest() != a.digest()
+
+    def test_non_scalar_param_rejected(self):
+        with pytest.raises(ValueError, match="JSON scalar"):
+            ScenarioSpec("x", params={"bad": [1, 2]})
+
+    def test_bad_field_values(self):
+        with pytest.raises(ValueError, match="num_ports"):
+            ScenarioSpec("x", num_ports=0)
+        with pytest.raises(ValueError, match="horizon"):
+            ScenarioSpec("x", horizon=-1)
+
+    def test_parse_compact_form(self):
+        spec = parse_scenario("hotspot:ports=32,mean=48,zipf_exponent=1.5")
+        assert spec.scenario == "hotspot"
+        assert spec.num_ports == 32
+        assert spec.param_dict == {"mean": 48, "zipf_exponent": 1.5}
+        assert parse_scenario("paper-default").params == ()
+
+    def test_parse_json_values(self):
+        spec = parse_scenario("incast:target=null,gap=3")
+        assert spec.param_dict == {"target": None, "gap": 3}
+        spec = parse_scenario("trace-replay:path=some/file.csv")
+        assert spec.param_dict == {"path": "some/file.csv"}
+
+    def test_parse_bad_option(self):
+        with pytest.raises(ValueError, match="key=value"):
+            parse_scenario("hotspot:mean48")
+
+    def test_label_round_trips_through_parse(self):
+        spec = parse_scenario("hotspot:ports=32,mean=48")
+        assert parse_scenario(spec.label()) == spec
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert list_scenarios() == sorted(ALL_SCENARIOS)
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            build_stream("frobnicate")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            build_stream("paper-default:typo=1")
+
+    def test_entry_summary_and_defaults(self):
+        entry = get_scenario("hotspot")
+        assert "Zipf" in entry.summary
+        assert "zipf_exponent" in entry.defaults
+
+    def test_spec_overrides_entry_defaults(self):
+        stream = build_stream("paper-default:ports=8,horizon=5")
+        assert stream.switch.num_inputs == 8
+        assert stream.rounds == 5
+
+    def test_half_shape_deriving_registration_rejected(self):
+        with pytest.raises(ValueError, match="both set .*or both None"):
+            register_scenario("test-half", num_ports=None, capacity=4)
+        with pytest.raises(ValueError, match="both set .*or both None"):
+            register_scenario("test-half", num_ports=8, capacity=None)
+        assert "test-half" not in list_scenarios()
+
+    def test_register_and_unregister(self):
+        @register_scenario("test-solo", defaults={}, num_ports=4, horizon=3)
+        def solo(spec, switch, params, horizon, seed):
+            """One flow 0->1 per round."""
+            def factory():
+                while True:
+                    yield make_batch([0], [1])
+            return ArrivalStream(switch, factory, horizon, "test-solo")
+
+        try:
+            inst = build_instance("test-solo")
+            assert inst.num_flows == 3
+            with pytest.raises(ValueError, match="already registered"):
+                register_scenario("test-solo")(solo)
+        finally:
+            unregister_scenario("test-solo")
+        assert "test-solo" not in list_scenarios()
+
+
+class TestGoldenDigests:
+    def test_all_scenarios_covered(self):
+        assert sorted(GOLDEN_DIGESTS) == list_scenarios()
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_golden_digest(self, name):
+        inst = build_instance(f"{name}:ports=8,horizon=6", seed=2020)
+        assert inst.digest() == GOLDEN_DIGESTS[name], (
+            f"scenario {name!r} generator output changed for a fixed seed"
+        )
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_streams_are_reiterable(self, name):
+        stream = build_stream(f"{name}:ports=8,horizon=6", seed=5)
+        a = stream.materialize()
+        b = stream.materialize()
+        assert a.digest() == b.digest()
+
+    def test_different_seeds_differ(self):
+        a = build_instance("paper-default:ports=8,horizon=6", seed=1)
+        b = build_instance("paper-default:ports=8,horizon=6", seed=2)
+        assert a.digest() != b.digest()
+
+
+class TestTransforms:
+    def _base(self):
+        return build_stream("paper-default:ports=8,mean=6,horizon=10", seed=3)
+
+    def test_take_bounds(self):
+        stream = self._base().take(4)
+        assert stream.rounds == 4
+        assert len(list(iter(stream))) == 4
+
+    def test_thinned_keeps_subset(self):
+        base = self._base()
+        thin = base.thinned(0.5, seed=1)
+        n_base = base.materialize().num_flows
+        n_thin = thin.materialize().num_flows
+        assert 0 < n_thin < n_base
+        # deterministic
+        assert thin.materialize().digest() == thin.materialize().digest()
+
+    def test_thinned_extremes(self):
+        base = self._base()
+        assert base.thinned(0.0).materialize().num_flows == 0
+        assert (
+            base.thinned(1.0).materialize().digest()
+            == base.materialize().digest()
+        )
+
+    def test_scaled_integer_factor_replicates(self):
+        base = self._base()
+        doubled = base.scaled(2.0)
+        assert doubled.materialize().num_flows == 2 * base.materialize().num_flows
+
+    def test_scaled_fractional_factor(self):
+        base = self._base()
+        n = base.materialize().num_flows
+        n_scaled = base.scaled(1.5, seed=9).materialize().num_flows
+        assert n < n_scaled < 2 * n
+
+    def test_merged_superposes(self):
+        a = build_stream("paper-default:ports=8,mean=3,horizon=6", seed=1)
+        b = build_stream("incast:ports=8,horizon=4", seed=2)
+        merged = merge_streams(a, b)
+        assert merged.rounds == 6
+        assert (
+            merged.materialize().num_flows
+            == a.materialize().num_flows + b.materialize().num_flows
+        )
+
+    def test_merged_rejects_mismatched_switches(self):
+        a = build_stream("paper-default:ports=8,horizon=4")
+        b = build_stream("paper-default:ports=16,horizon=4")
+        with pytest.raises(ValueError, match="different switches"):
+            a.merged(b)
+
+    def test_time_warped_dilates_releases(self):
+        base = build_stream("permutation:ports=4,horizon=3", seed=0)
+        warped = base.time_warped(3)
+        assert warped.rounds == 7
+        inst = warped.materialize()
+        assert sorted(set(inst.releases().tolist())) == [0, 3, 6]
+        assert inst.num_flows == base.materialize().num_flows
+
+    def test_time_warped_identity(self):
+        base = self._base()
+        assert base.time_warped(1) is base
+
+    def test_materialize_requires_bound(self):
+        unbounded = ArrivalStream(
+            Switch.create(2), lambda: iter(()), None, "x"
+        )
+        with pytest.raises(ValueError, match="unbounded"):
+            unbounded.materialize()
+
+
+class TestScenarioSweep:
+    def test_runner_scenario_cells(self):
+        cells = Runner(smoke_config(), compute_lp_bounds=False).run_scenarios(
+            ["paper-default:ports=8,mean=4,horizon=6",
+             "incast:ports=8,horizon=6"],
+            solvers=["MaxWeight", "FIFO"],
+        )
+        assert sorted(cells) == [
+            "incast:ports=8,horizon=6",
+            "paper-default:ports=8,horizon=6,mean=4",
+        ]
+        for cell in cells.values():
+            assert cell.trials == smoke_config().trials
+            assert set(cell.avg_response) == {"MaxWeight", "FIFO"}
+            assert cell.num_flows_mean > 0
+
+    def test_scenario_sweep_caches_and_resumes(self, tmp_path):
+        specs = ["hotspot:ports=8,mean=4,horizon=6"]
+        cold = run_scenario_sweep(
+            smoke_config(), specs, solvers=["MaxCard"],
+            cache_dir=str(tmp_path),
+        )
+        warm = run_scenario_sweep(
+            smoke_config(), specs, solvers=["MaxCard"],
+            cache_dir=str(tmp_path),
+        )
+        assert cold == warm
+        assert list(tmp_path.glob("results-*.jsonl"))
+
+    def test_lp_bounds_within_limit(self):
+        cells = run_scenario_sweep(
+            smoke_config(), ["paper-default:ports=8,mean=3,horizon=4"],
+            solvers=["MaxWeight"],
+        )
+        (cell,) = cells.values()
+        assert cell.lp_avg_bound is not None
+        assert cell.lp_max_bound is not None
+
+    def test_duplicate_scenario_rejected(self):
+        with pytest.raises(ValueError, match="duplicate scenario"):
+            Runner(smoke_config()).run_scenarios(
+                ["paper-default:horizon=4", "paper-default:horizon=4"]
+            )
+
+    def test_unbounded_scenario_rejected(self):
+        @register_scenario("test-forever", defaults={}, num_ports=4,
+                           horizon=None)
+        def forever(spec, switch, params, horizon, seed):
+            """One flow 0->1 per round, forever."""
+            def factory():
+                while True:
+                    yield make_batch([0], [1])
+            return ArrivalStream(switch, factory, None, "test-forever")
+
+        try:
+            with pytest.raises(ValueError, match="unbounded"):
+                Runner(smoke_config()).run_scenarios(["test-forever"])
+            # An explicit horizon makes the same scenario sweepable.
+            cells = Runner(
+                smoke_config(trials=1), compute_lp_bounds=False
+            ).run_scenarios(["test-forever:horizon=3"], solvers=["FIFO"])
+            assert list(cells) == ["test-forever:horizon=3"]
+        finally:
+            unregister_scenario("test-forever")
+
+    def test_trials_are_seed_distinct_but_reproducible(self):
+        config = smoke_config(trials=2)
+        a = Runner(config, compute_lp_bounds=False).run_scenarios(
+            ["paper-default:ports=8,mean=4,horizon=5"], solvers=["FIFO"]
+        )
+        b = Runner(config, compute_lp_bounds=False).run_scenarios(
+            ["paper-default:ports=8,mean=4,horizon=5"], solvers=["FIFO"]
+        )
+        assert a == b
+
+    def test_parallel_matches_serial(self):
+        config = smoke_config(trials=2)
+        specs = ["onoff-bursty:ports=8,horizon=5"]
+        serial = Runner(config, compute_lp_bounds=False).run_scenarios(
+            specs, solvers=["MaxWeight"]
+        )
+        parallel = Runner(
+            config, jobs=2, compute_lp_bounds=False
+        ).run_scenarios(specs, solvers=["MaxWeight"])
+        assert serial == parallel
+
+
+class TestScenarioSmoke:
+    """Every registered scenario runs under one online policy (the
+    in-repo mirror of CI's scenario-smoke job)."""
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_smoke(self, name):
+        from repro.api import get_solver
+
+        inst = build_instance(f"{name}:ports=8,horizon=4", seed=0)
+        report = get_solver("MaxWeight").solve(inst)
+        assert report.metrics is not None
+        assert report.metrics.num_flows == inst.num_flows

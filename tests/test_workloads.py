@@ -9,7 +9,12 @@ from repro.workloads.synthetic import (
     permutation_workload,
     poisson_uniform_workload,
 )
-from repro.workloads.trace import load_trace, save_trace
+from repro.workloads.trace import (
+    TRACE_SCHEMA_VERSION,
+    TraceFormatError,
+    load_trace,
+    save_trace,
+)
 
 
 class TestPoissonUniform:
@@ -85,3 +90,61 @@ class TestTrace:
         again = load_trace(path)
         assert again.flows == inst.flows
         assert again.switch.num_inputs == 6
+
+    def test_save_stamps_schema_version(self, tmp_path):
+        import json
+
+        inst = poisson_uniform_workload(4, 2, 2, seed=0)
+        path = tmp_path / "trace.json"
+        save_trace(inst, path)
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == TRACE_SCHEMA_VERSION
+        # The stamp lives in the file only: digests are unchanged.
+        assert load_trace(path).digest() == inst.digest()
+
+    def test_legacy_unstamped_trace_loads(self, tmp_path):
+        inst = poisson_uniform_workload(4, 2, 2, seed=0)
+        path = tmp_path / "legacy.json"
+        inst.save_json(path)  # pre-versioning writer
+        assert load_trace(path).flows == inst.flows
+
+    def test_version_mismatch_names_path(self, tmp_path):
+        import json
+
+        inst = poisson_uniform_workload(4, 2, 2, seed=0)
+        data = inst.to_dict()
+        data["schema_version"] = 99
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(TraceFormatError, match="schema_version 99"):
+            load_trace(path)
+        with pytest.raises(TraceFormatError, match=str(path)):
+            load_trace(path)
+
+    def test_invalid_json_names_path(self, tmp_path):
+        path = tmp_path / "garbled.json"
+        path.write_text("{not json")
+        with pytest.raises(TraceFormatError, match="not valid JSON"):
+            load_trace(path)
+        with pytest.raises(TraceFormatError, match=str(path)):
+            load_trace(path)
+
+    def test_missing_field_named(self, tmp_path):
+        import json
+
+        inst = poisson_uniform_workload(4, 2, 2, seed=0)
+        data = inst.to_dict()
+        del data["switch"]["num_inputs"]
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(TraceFormatError, match="'num_inputs'"):
+            load_trace(path)
+
+    def test_non_object_payload(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(TraceFormatError, match="JSON object"):
+            load_trace(path)
+
+    def test_trace_format_error_is_value_error(self):
+        assert issubclass(TraceFormatError, ValueError)

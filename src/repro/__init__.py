@@ -65,6 +65,17 @@ from repro.scenarios import (
     parse_scenario,
     register_scenario,
 )
+from repro.verify import (
+    VerificationError,
+    VerificationReport,
+    Violation,
+    certify,
+    check_lp_certificate,
+    check_online_run,
+    check_schedule,
+    cross_check,
+    metamorphic_check,
+)
 from repro.workloads import (
     hotspot_workload,
     incast_workload,
@@ -124,5 +135,14 @@ __all__ = [
     "get_solver",
     "list_solvers",
     "Runner",
+    "Violation",
+    "VerificationReport",
+    "VerificationError",
+    "certify",
+    "check_schedule",
+    "check_lp_certificate",
+    "check_online_run",
+    "cross_check",
+    "metamorphic_check",
     "__version__",
 ]

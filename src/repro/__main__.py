@@ -16,6 +16,12 @@ Commands
     ``--paper-scale``; ``--jobs N`` parallelizes the sweep trials;
     ``--cache-dir DIR`` persists per-trial results so killed sweeps
     resume, with ``--resume`` [default] / ``--no-cache`` toggling reads).
+``verify [TRACE | --scenario SPEC | --report FILE | --cache-dir DIR]``
+    Replay work through the certificate checkers (``repro.verify``):
+    cross-check registered solvers on a trace/scenario instance
+    (``--metamorphic`` adds the transform harness), certify a saved
+    ``SolveReport`` JSON (see ``solve --report-out``), or certify every
+    record of a cached sweep store.  Exits non-zero on any violation.
 ``solve-mrt TRACE`` / ``solve-art TRACE`` / ``simulate TRACE``
     Back-compat aliases for ``solve`` with the FS-MRT / FS-ART / online
     policy solvers.
@@ -81,6 +87,7 @@ def _cmd_figures(args, which: str) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         resume=not args.no_cache,
+        verify=args.verify,
     )
     print()
     print(render_fig6(sweep) if which == "fig6" else render_fig7(sweep))
@@ -173,6 +180,10 @@ def _cmd_solve(args) -> int:
         print(f"  lower bound {name} = {value:g}")
     for name, value in sorted(report.extras.items()):
         print(f"  {name} = {value}")
+    if args.report_out:
+        with open(args.report_out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=1)
+        print(f"full report written to {args.report_out}")
     if report.schedule is None:  # infeasible: exit 1 with or without --out
         if args.out:
             print("no schedule to write (infeasible)")
@@ -241,6 +252,122 @@ def _cmd_scenarios(args) -> int:
         knobs = " ".join(f"{k}={v}" for k, v in sorted(e.defaults.items()))
         print(f"{'':<16s}   defaults: {shape}" + (f" {knobs}" if knobs else ""))
     return 0
+
+
+def _verify_report_file(path: str):
+    """Certify one saved ``SolveReport`` JSON; returns the report."""
+    from repro.api import SolveReport
+    from repro.verify import certify
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        solve_report = SolveReport.from_dict(data)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise SystemExit(f"error: cannot load report {path!r}: {exc}")
+    return certify(solve_report, subject=f"report:{path}")
+
+
+def _verify_cache_dir(cache_dir: str):
+    """Certify every *live* record of a result-store directory.
+
+    Replays exactly what :class:`repro.api.store.ResultStore` would
+    serve (:func:`repro.api.store.live_records`: oldest-shard-first,
+    torn-tail tolerant, duplicate keys last-writer-wins — a record
+    superseded by a ``--no-cache`` refresh can never be served again,
+    so it is not re-certified).  Each certified record's subject names
+    the shard it survived from.
+    """
+    from pathlib import Path
+
+    from repro.api.store import live_records
+    from repro.verify import check_record, merge_reports
+
+    directory = Path(cache_dir)
+    if not directory.is_dir():
+        raise SystemExit(f"error: {cache_dir!r} is not a directory")
+    if not any(directory.glob("results-*.jsonl")):
+        raise SystemExit(
+            f"error: no result shards (results-*.jsonl) in {cache_dir!r}"
+        )
+    live = live_records(directory)
+    if not live:
+        # Shards exist but every line is torn/garbled: say so instead
+        # of rendering the meaningless "0 violation(s) (0 check(s))".
+        raise SystemExit(
+            f"error: shards in {cache_dir!r} contain no readable records"
+        )
+    reports = [
+        check_record(
+            entry["report"],
+            subject=(
+                f"{entry['solver'] or '?'}@"
+                f"{str(entry['instance'] or '')[:12]} ({entry['shard']})"
+            ),
+        )
+        for entry in live.values()
+    ]
+    merged = merge_reports(f"store:{cache_dir}", reports)
+    merged.stats["records"] = len(live)
+    return merged
+
+
+def _cmd_verify(args) -> int:
+    sources = [
+        args.trace is not None,
+        args.scenario is not None,
+        args.report is not None,
+        args.cache_dir is not None,
+    ]
+    if sum(sources) != 1:
+        raise SystemExit(
+            "error: pass exactly one of TRACE, --scenario, --report, "
+            "or --cache-dir"
+        )
+    if args.report is not None or args.cache_dir is not None:
+        # Cross-checking flags only make sense when an instance is in
+        # hand; silently ignoring them would report 'certified' for
+        # checks that never ran.
+        for flag, value in (("--metamorphic", args.metamorphic),
+                            ("--solvers", args.solvers)):
+            if value:
+                raise SystemExit(
+                    f"error: {flag} applies to TRACE/--scenario "
+                    "verification, not --report/--cache-dir"
+                )
+
+    if args.report is not None:
+        verification = _verify_report_file(args.report)
+    elif args.cache_dir is not None:
+        verification = _verify_cache_dir(args.cache_dir)
+    else:
+        from repro.verify import cross_check, metamorphic_check
+
+        inst = _load_instance(args)
+        solvers = (
+            [s for s in args.solvers.split(",") if s]
+            if args.solvers
+            else None
+        )
+        try:
+            result = cross_check(inst, solvers=solvers)
+        except ValueError as exc:  # unknown solver name
+            raise SystemExit(f"error: {exc}")
+        verification = result.verification
+        if args.metamorphic:
+            verification.merge(
+                metamorphic_check(
+                    inst,
+                    solvers=solvers or ("Greedy",),
+                    seed=args.seed,
+                )
+            )
+
+    if args.json:
+        print(json.dumps(verification.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(verification.render())
+    return 0 if verification.ok else 1
 
 
 def _cmd_solve_mrt(args) -> int:
@@ -355,6 +482,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-p", "--param", action="append", metavar="KEY=VALUE",
                    help="solver parameter (repeatable; value parsed as JSON)")
     p.add_argument("--out", default=None)
+    p.add_argument("--report-out", default=None, metavar="FILE",
+                   help="also write the full SolveReport JSON (replayable "
+                        "through 'verify --report FILE')")
+
+    p = sub.add_parser(
+        "verify", help="replay work through the certificate checkers"
+    )
+    p.add_argument("trace", nargs="?", default=None,
+                   help="JSON trace to cross-check solvers on")
+    p.add_argument("--scenario", default=None, metavar="NAME[:k=v,...]",
+                   help="cross-check on a generated scenario instance")
+    p.add_argument("--report", default=None, metavar="FILE",
+                   help="certify a saved SolveReport JSON "
+                        "(from solve --report-out)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="certify every record of a cached sweep store")
+    p.add_argument("--solvers", default=None, metavar="A,B,...",
+                   help="solvers to cross-check (default: all offline)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="scenario generation / transform seed")
+    p.add_argument("--metamorphic", action="store_true",
+                   help="also certify invariance under port-relabeling, "
+                        "demand-scaling, and flow-shuffling transforms")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable verification report")
 
     p = sub.add_parser("list-solvers", help="enumerate the solver registry")
     p.add_argument("--json", action="store_true",
@@ -382,6 +534,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(the default; flag kept for explicitness)")
         p.add_argument("--no-cache", action="store_true",
                        help="recompute every cell, refreshing --cache-dir")
+        p.add_argument("--verify", action="store_true",
+                       help="certify every trial through the repro.verify "
+                            "checkers (fails fast on any violation)")
 
     p = sub.add_parser("solve-mrt",
                        help="offline Theorem 3 solver (alias of solve)")
@@ -430,6 +585,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 _COMMANDS = {
     "solve": _cmd_solve,
+    "verify": _cmd_verify,
     "list-solvers": _cmd_list_solvers,
     "scenarios": _cmd_scenarios,
     "solve-mrt": _cmd_solve_mrt,

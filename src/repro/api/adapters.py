@@ -84,6 +84,10 @@ class ARTSolver(SolverAdapter):
 
     name = "FS-ART"
     kind = "offline"
+    #: Theorem 1's pipeline implements the unit-demand case; harnesses
+    #: that sweep solvers over arbitrary instances (e.g.
+    #: :func:`repro.verify.cross_check` defaults) consult this flag.
+    requires_unit_demands = True
 
     def _solve(
         self,
@@ -173,9 +177,15 @@ class TimeConstrainedSolver(SolverAdapter):
     """Section 4.2 Time-Constrained solver (response bound or deadlines).
 
     Accepts either a :class:`TimeConstrainedInstance` directly, or a
-    plain :class:`Instance` plus exactly one of ``rho`` (max-response
-    bound) / ``deadlines`` (per-flow last admissible round).  An
-    infeasible instance yields a report with ``schedule=None`` and
+    plain :class:`Instance` plus at most one of ``rho`` (max-response
+    bound) / ``deadlines`` (per-flow last admissible round); with
+    neither, ``rho`` defaults to the instance's
+    :meth:`~repro.core.instance.Instance.horizon_bound` — a response
+    bound some schedule always meets, so the default configuration is
+    feasible on every instance (which lets differential harnesses such
+    as :func:`repro.verify.cross_check` run this solver unparameterized
+    alongside the other offline pipelines).  An infeasible instance
+    yields a report with ``schedule=None`` and
     ``extras["feasible"] = False`` rather than an exception — fractional
     infeasibility is a *certificate* that no schedule exists.
     """
@@ -206,10 +216,11 @@ class TimeConstrainedSolver(SolverAdapter):
         elif deadlines is not None:
             tci = from_deadlines(instance, [int(d) for d in deadlines])
         else:
-            raise ValueError(
-                "TimeConstrained needs a TimeConstrainedInstance or one of "
-                "rho / deadlines"
-            )
+            # Always-feasible default: one flow per round after the last
+            # release fits within horizon_bound(), so a response bound of
+            # that size admits a schedule on any instance.
+            rho = instance.horizon_bound()
+            tci = from_response_bound(instance, int(rho))
         res = schedule_time_constrained(tci, backend=backend)
         params = {"backend": backend}
         if rho is not None:

@@ -24,6 +24,17 @@ from repro.core.instance import Instance
 from repro.core.metrics import ScheduleMetrics
 from repro.core.schedule import Schedule
 
+#: Certified lower-bound names -> the :class:`ScheduleMetrics` field they
+#: bound.  ``lp_total_response`` is the LP (1)-(4) bound on the FS-ART
+#: objective; ``rho_star`` is the binary-searched LP (19)-(21) bound on
+#: the FS-MRT objective.  The verification subsystem
+#: (:mod:`repro.verify`) uses this mapping to pair each claimed bound
+#: with the objective it must stay below.
+BOUND_TARGETS: Dict[str, str] = {
+    "lp_total_response": "total_response",
+    "rho_star": "max_response",
+}
+
 
 @dataclass
 class SolveReport:
@@ -66,6 +77,33 @@ class SolveReport:
     def feasible(self) -> bool:
         """Whether the solver produced a schedule."""
         return self.schedule is not None
+
+    def certificates(self) -> Dict[str, tuple]:
+        """Claimed bounds paired with their achieved objectives.
+
+        Returns ``{bound_name: (bound_value, objective_value)}`` for
+        every lower bound whose target objective is known (see
+        :data:`BOUND_TARGETS`); ``objective_value`` is ``None`` when the
+        report carries no metrics.  This is the raw material of
+        :func:`repro.verify.check_lp_certificate`.
+        """
+        out: Dict[str, tuple] = {}
+        for name, value in self.lower_bounds.items():
+            target = BOUND_TARGETS.get(name)
+            if target is None or isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                # Non-numeric bound values (a corrupted/hand-edited
+                # report) are not certificates; the verify layer flags
+                # them as malformed rather than crashing here.
+                continue
+            objective = (
+                float(getattr(self.metrics, target))
+                if self.metrics is not None
+                else None
+            )
+            out[name] = (float(value), objective)
+        return out
 
     def to_dict(self) -> dict:
         """JSON-serializable representation (inverse of :meth:`from_dict`)."""

@@ -66,6 +66,62 @@ def canonical_key(solver: str, instance_digest: str, params: dict) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def _iter_shard_entries(cache_dir: Path):
+    """Yield ``(shard_path, entry)`` for every complete shard line.
+
+    The single definition of the store's read semantics: shards ordered
+    oldest-modified first (name-tiebroken), torn/garbled lines skipped,
+    entries required to carry a ``key`` and a *dict* ``report`` (a null
+    or non-dict report would crash every consumer — ``run_trial`` reads
+    ``record["metrics"]``, the verifier reads ``record.get(...)`` — so
+    it is garbage by definition).  Everything that reads a store
+    directory — :meth:`ResultStore._load`, :func:`live_records` (and
+    through it the CLI verifier) — goes through here, so the ordering
+    and tolerance can never diverge.
+    """
+    shards = sorted(
+        cache_dir.glob("results-*.jsonl"),
+        key=lambda p: (p.stat().st_mtime_ns, p.name),
+    )
+    for shard in shards:
+        with open(shard, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    entry["key"]
+                    if not isinstance(entry["report"], dict):
+                        continue
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    # Torn tail line of a killed writer; every complete
+                    # line before it is still usable.
+                    continue
+                yield shard, entry
+
+
+def live_records(cache_dir: "str | Path") -> Dict[str, dict]:
+    """The store's last-writer-wins view, with provenance.
+
+    Returns ``{key: {"solver", "instance", "params", "report",
+    "shard"}}`` for every record a :class:`ResultStore` opened on
+    ``cache_dir`` would actually serve — superseded duplicates resolve
+    to the newest record, exactly as :meth:`ResultStore._load` does.
+    The CLI ``verify --cache-dir`` replays this view.
+    """
+    live: Dict[str, dict] = {}
+    for shard, entry in _iter_shard_entries(Path(cache_dir)):
+        live[entry["key"]] = {
+            "solver": entry.get("solver"),
+            "instance": entry.get("instance"),
+            "params": entry.get("params"),
+            "report": entry["report"],
+            "shard": shard.name,
+        }
+    return live
+
+
 class ResultStore:
     """Append-only JSON-lines store of solve reports under ``cache_dir``.
 
@@ -95,26 +151,11 @@ class ResultStore:
         self._load()
 
     def _load(self) -> None:
-        # Shards ordered oldest-modified first so that, for a key stored
+        # Oldest-modified-first iteration means that, for a key stored
         # more than once (a --no-cache refresh after a solver change),
         # the most recently written record wins.
-        shards = sorted(
-            self.cache_dir.glob("results-*.jsonl"),
-            key=lambda p: (p.stat().st_mtime_ns, p.name),
-        )
-        for shard in shards:
-            with open(shard, "r", encoding="utf-8") as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        entry = json.loads(line)
-                        self._index[entry["key"]] = entry["report"]
-                    except (json.JSONDecodeError, KeyError, TypeError):
-                        # Torn tail line of a killed writer; every
-                        # complete line before it is still usable.
-                        continue
+        for _, entry in _iter_shard_entries(self.cache_dir):
+            self._index[entry["key"]] = entry["report"]
 
     def __len__(self) -> int:
         return len(self._index)

@@ -65,6 +65,17 @@ class Schedule:
                 f"assignment must have shape ({self.instance.num_flows},), "
                 f"got {arr.shape}"
             )
+        if arr.size and int(arr.min()) < 0:
+            # A negative round (e.g. a leftover -1 "unscheduled" marker)
+            # used to wrap around in port_round_loads' fancy indexing,
+            # silently crediting the flow to the *last* round — so an
+            # incomplete schedule could pass the load checks and report
+            # max_augmentation() == 0.  Reject it at construction.
+            fid = int(np.flatnonzero(arr < 0)[0])
+            raise ScheduleError(
+                f"flow {fid} has negative round {int(arr[fid])}; every "
+                "flow must be assigned a round >= 0"
+            )
         object.__setattr__(self, "assignment", arr)
         arr.setflags(write=False)
 
@@ -117,8 +128,14 @@ class Schedule:
     def max_augmentation(self) -> int:
         """Largest additive capacity excess used by this schedule.
 
-        0 means the schedule is feasible for the instance's own switch;
-        ``k > 0`` means some port in some round carries ``c_p + k`` demand.
+        0 means the schedule is *capacity*-feasible for the instance's
+        own switch; ``k > 0`` means some port in some round carries
+        ``c_p + k`` demand.  Capacity feasibility alone is not full
+        validity — a schedule may still run flows before their release
+        rounds — so use :func:`validate_schedule` /
+        :func:`is_valid_schedule` for the complete contract:
+        ``is_valid_schedule(s)`` iff ``s.max_augmentation() == 0`` and
+        no flow runs early.
         """
         in_loads, out_loads = self.port_round_loads()
         in_excess = in_loads - self.instance.switch.input_capacities[:, None]

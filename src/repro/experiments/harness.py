@@ -140,6 +140,7 @@ def run_sweep(
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
     resume: bool = True,
+    verify: bool = False,
 ) -> SweepResult:
     """Run the full Figure 6/7 sweep for ``config``.
 
@@ -159,6 +160,9 @@ def run_sweep(
         on-disk store so interrupted sweeps resume and repeated sweeps are
         served from disk; ``resume=False`` recomputes but still refreshes
         the store (see :class:`repro.api.runner.Runner`).
+    verify:
+        Certify every trial through the :mod:`repro.verify` checkers
+        (see :class:`repro.api.runner.Runner`).
     """
     from repro.api.runner import Runner
 
@@ -169,4 +173,5 @@ def run_sweep(
         compute_lp_bounds=compute_lp_bounds,
         cache_dir=cache_dir,
         resume=resume,
+        verify=verify,
     ).run(verbose=verbose)

@@ -542,6 +542,7 @@ def simulate(
     policy: OnlinePolicy,
     max_rounds: Optional[int] = None,
     timer: Optional[Timer] = None,
+    verify: bool = False,
 ) -> SimulationResult:
     """Run ``policy`` online over ``instance``.
 
@@ -563,6 +564,11 @@ def simulate(
         Optional :class:`~repro.utils.timing.Timer`; receives a
         ``sim_round`` event per simulated round and — through the policy
         — ``matching_solve`` events per matching extraction.
+    verify:
+        Certify the finished run through
+        :func:`repro.verify.check_online_run` (schedule feasibility,
+        metric consistency, queue/arrival accounting) and raise
+        :class:`repro.verify.VerificationError` on any violation.
 
     Returns
     -------
@@ -642,13 +648,18 @@ def simulate(
     stats["sim_rounds"] = t
     stats["compactions"] = queue.compactions
     schedule = Schedule(instance, assignment)
-    return SimulationResult(
+    result = SimulationResult(
         schedule,
         ScheduleMetrics.of(schedule),
         rounds=t,
         queue_history=np.asarray(queue_history, dtype=np.int64),
         stats=stats,
     )
+    if verify:
+        from repro.verify import check_online_run
+
+        check_online_run(result).raise_if_failed()
+    return result
 
 
 def _check_feasible(
@@ -829,6 +840,7 @@ def simulate_stream(
     record_schedule: bool = False,
     record_queue_history: bool = False,
     timer: Optional[Timer] = None,
+    verify: bool = False,
 ) -> StreamSimulationResult:
     """Run ``policy`` online over an arrival *stream*.
 
@@ -866,11 +878,25 @@ def simulate_stream(
     timer:
         Optional :class:`~repro.utils.timing.Timer` (``sim_round``
         events, plus policy events).
+    verify:
+        Certify the finished run through
+        :func:`repro.verify.check_online_run` and raise
+        :class:`repro.verify.VerificationError` on any violation.
+        Requires ``record_schedule=True`` (rejected otherwise): the
+        aggregate metrics are computed from the same accumulators the
+        checker would re-derive them from, so without the assignment
+        there is nothing non-tautological to certify.
 
     Returns
     -------
     StreamSimulationResult
     """
+    if verify and not record_schedule:
+        raise ValueError(
+            "simulate_stream(verify=True) requires record_schedule=True: "
+            "without the assignment the checkers can only re-derive the "
+            "engine's own accumulators (a tautology), not certify them"
+        )
     switch = stream.switch
     limit = arrival_rounds
     if limit is None:
@@ -1012,7 +1038,7 @@ def simulate_stream(
         assignment = np.full(arrived, -1, dtype=np.int64)
         for gfid, round_ in assigned.items():
             assignment[gfid] = round_
-    return StreamSimulationResult(
+    result = StreamSimulationResult(
         metrics=metrics,
         rounds=makespan,
         arrival_rounds=consumed,
@@ -1024,3 +1050,8 @@ def simulate_stream(
         ),
         assignment=assignment,
     )
+    if verify:
+        from repro.verify import check_online_run
+
+        check_online_run(result).raise_if_failed()
+    return result

@@ -23,6 +23,7 @@ the stream directly.
 
 from __future__ import annotations
 
+import hashlib
 from itertools import islice
 from typing import Callable, Iterator, List, Optional, Tuple
 
@@ -38,6 +39,32 @@ Batch = Tuple[np.ndarray, np.ndarray, np.ndarray]
 
 _EMPTY = np.empty(0, dtype=np.int64)
 EMPTY_BATCH: Batch = (_EMPTY, _EMPTY, _EMPTY)
+
+
+def prefix_hasher(switch: Switch):
+    """A SHA-256 hasher seeded with the switch shape and capacities.
+
+    Feed it batches with :func:`hash_batch`; together these define the
+    canonical stream-prefix digest format shared by
+    :meth:`ArrivalStream.prefix_digest` and
+    :func:`repro.verify.check_stream` (which hashes during its validity
+    pass — the two must stay byte-compatible, which is why the format
+    lives here once).
+    """
+    h = hashlib.sha256()
+    h.update(f"{switch.num_inputs},{switch.num_outputs};".encode())
+    h.update(switch.input_capacities.tobytes())
+    h.update(switch.output_capacities.tobytes())
+    return h
+
+
+def hash_batch(h, batch: Batch) -> None:
+    """Fold one arrival batch into a :func:`prefix_hasher` hasher."""
+    srcs, dsts, demands = batch
+    h.update(b"|")
+    h.update(np.ascontiguousarray(srcs, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(dsts, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(demands, dtype=np.int64).tobytes())
 
 
 def make_batch(srcs, dsts, demands=None) -> Batch:
@@ -100,6 +127,28 @@ class ArrivalStream:
     @property
     def is_bounded(self) -> bool:
         return self.rounds is not None
+
+    def prefix_digest(self, rounds: Optional[int] = None) -> str:
+        """Canonical content digest of a bounded prefix (hex SHA-256).
+
+        Hashes the switch shape plus every batch of the first ``rounds``
+        arrival rounds (``rounds`` defaults to the stream's own bound;
+        an unbounded stream requires it).  Two iterations of a
+        deterministic stream share a digest, which is what
+        :func:`repro.verify.check_stream` certifies, and golden-digest
+        tests can pin a scenario's output without materializing it.
+        """
+        if rounds is None:
+            rounds = self.rounds
+        if rounds is None:
+            raise ValueError(
+                f"stream {self.label!r} is unbounded; pass rounds= to "
+                "digest a prefix"
+            )
+        h = prefix_hasher(self.switch)
+        for batch in islice(iter(self), rounds):
+            hash_batch(h, batch)
+        return h.hexdigest()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         extent = "unbounded" if self.rounds is None else f"{self.rounds} rounds"

@@ -1,0 +1,209 @@
+"""Structured verification outcomes: violations, reports, and the error.
+
+Every checker in :mod:`repro.verify` returns a
+:class:`VerificationReport` — a list of :class:`Violation` values plus
+the names of the checks that ran — instead of asserting.  Callers that
+want exceptions call :meth:`VerificationReport.raise_if_failed`, which
+raises :class:`VerificationError` carrying the full report; callers
+that want to aggregate (the CLI ``verify`` command, the differential
+harness) merge reports and render them at the end.
+
+A :class:`Violation` is JSON-serializable by construction: ``code`` is a
+stable machine-readable slug (test assertions match on it), ``message``
+is the human rendering, and ``context`` holds scalar details (fids,
+rounds, bound values) for programmatic triage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One certified-invariant breach found by a checker.
+
+    Attributes
+    ----------
+    code:
+        Stable machine-readable slug, e.g. ``"capacity-overload"`` or
+        ``"bound-above-objective"``.
+    message:
+        Human-readable description naming the offending flow / port /
+        round / bound.
+    context:
+        JSON-scalar details (``{"fid": 3, "round": 2, ...}``).
+    """
+
+    code: str
+    message: str
+    context: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "code": self.code,
+            "message": self.message,
+            "context": dict(self.context),
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "Violation":
+        """Inverse of :meth:`to_dict`."""
+        return Violation(
+            code=data["code"],
+            message=data["message"],
+            context=dict(data.get("context") or {}),
+        )
+
+    def __str__(self) -> str:
+        return f"[{self.code}] {self.message}"
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of one (or several merged) certification passes.
+
+    Attributes
+    ----------
+    subject:
+        What was certified (``"FS-MRT on 9f3a…"``, a trace path, ...).
+    checks:
+        Names of the checks that actually ran — an empty ``violations``
+        list is only meaningful alongside a non-empty ``checks`` list.
+    violations:
+        Every invariant breach found; empty means certified.
+    stats:
+        Scalar diagnostics the checks computed along the way
+        (approximation ratios, augmentation used, oracle bounds).
+    """
+
+    subject: str
+    checks: List[str] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+    stats: Dict[str, Any] = field(default_factory=dict)
+    # Companion set for O(1) ran() dedup: merge-heavy aggregation (one
+    # sub-report per record of a large cached store) would otherwise
+    # scan the checks list per insertion, going quadratic.
+    _seen: set = field(
+        default_factory=set, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self._seen = set(self.checks)
+
+    @property
+    def ok(self) -> bool:
+        """True when every check passed (and at least one ran)."""
+        return not self.violations and bool(self.checks)
+
+    def add(self, code: str, message: str, **context: Any) -> None:
+        """Record one violation."""
+        self.violations.append(Violation(code, message, context))
+
+    def ran(self, check: str) -> None:
+        """Record that ``check`` executed (even if it found nothing)."""
+        if check not in self._seen:
+            self._seen.add(check)
+            self.checks.append(check)
+
+    def merge(self, other: "VerificationReport") -> "VerificationReport":
+        """Fold ``other`` into this report (returns ``self``).
+
+        Checks, stats, *and violations* are qualified with ``other``'s
+        subject, so an aggregate report (a cross-check, a whole cached
+        store) still names which record/solver every violation belongs
+        to — the subject would otherwise be lost at merge time.
+        """
+        for check in other.checks:
+            self.ran(f"{other.subject}:{check}" if other.subject else check)
+        for violation in other.violations:
+            if other.subject:
+                context = dict(violation.context)
+                context.setdefault("subject", other.subject)
+                violation = Violation(
+                    violation.code,
+                    f"{other.subject}: {violation.message}",
+                    context,
+                )
+            self.violations.append(violation)
+        for key, value in other.stats.items():
+            self.stats.setdefault(
+                f"{other.subject}:{key}" if other.subject else key, value
+            )
+        return self
+
+    def raise_if_failed(self) -> "VerificationReport":
+        """Raise :class:`VerificationError` unless :attr:`ok`; else return self."""
+        if self.violations:
+            raise VerificationError(self)
+        if not self.checks:
+            raise VerificationError(self, "no checks ran")
+        return self
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        state = "certified" if self.ok else f"{len(self.violations)} violation(s)"
+        return f"{self.subject}: {state} ({len(self.checks)} check(s))"
+
+    def render(self) -> str:
+        """Multi-line human rendering (summary plus one line per violation)."""
+        lines = [self.summary()]
+        lines.extend(f"  {v}" for v in self.violations)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (inverse of :meth:`from_dict`)."""
+        return {
+            "subject": self.subject,
+            "checks": list(self.checks),
+            "violations": [v.to_dict() for v in self.violations],
+            "stats": dict(self.stats),
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "VerificationReport":
+        """Rebuild from :meth:`to_dict` output."""
+        return VerificationReport(
+            subject=data["subject"],
+            checks=list(data.get("checks") or []),
+            violations=[
+                Violation.from_dict(v) for v in data.get("violations") or []
+            ],
+            stats=dict(data.get("stats") or {}),
+        )
+
+
+def merge_reports(
+    subject: str, reports: Iterable[VerificationReport]
+) -> VerificationReport:
+    """Fold ``reports`` into one report labelled ``subject``."""
+    out = VerificationReport(subject)
+    for report in reports:
+        out.merge(report)
+    return out
+
+
+class VerificationError(AssertionError):
+    """A certification pass found violations (or ran no checks at all).
+
+    Subclasses ``AssertionError`` so test harnesses treat a failed
+    certificate as a test failure; carries the full
+    :class:`VerificationReport` as :attr:`report`.
+    """
+
+    def __init__(
+        self, report: VerificationReport, message: Optional[str] = None
+    ):
+        self.report = report
+        self._message = message
+        super().__init__(message or report.render())
+
+    def __reduce__(self):
+        # Default BaseException pickling reconstructs via cls(*args) —
+        # i.e. VerificationError(rendered_string) — which would crash in
+        # __init__ calling .render() on a str.  Multiprocessing Runner
+        # workers pickle this exception back to the parent, so the
+        # report must survive the round trip intact.
+        return (type(self), (self.report, self._message))

@@ -1,0 +1,9 @@
+"""Test package marker.
+
+Makes ``tests`` importable as a package regardless of entry point: the
+suite's cross-module imports (``from tests.conftest import ...``,
+``from tests.verify_harness import ...``) resolve under both
+``python -m pytest`` (CWD on sys.path) and the bare ``pytest`` console
+script (which only inserts the package's *parent* — the repo root —
+because this file exists).
+"""

@@ -10,6 +10,15 @@ from repro.core.flow import Flow
 from repro.core.instance import Instance
 from repro.core.switch import Switch
 
+# Certification fixtures (certify / certify_instance / certify_violations):
+# re-exported so every suite can route schedules, reports, runs, streams,
+# and instances through the repro.verify checkers (see tests/README.md).
+from tests.verify_harness import (  # noqa: F401
+    certify,
+    certify_instance,
+    certify_violations,
+)
+
 
 # ---------------------------------------------------------------------------
 # Plain fixtures

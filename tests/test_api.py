@@ -175,9 +175,12 @@ class TestAdapters:
         legacy = simulate(small_instance, make_policy("MinRTime"))
         assert report.metrics == legacy.metrics
 
-    def test_time_constrained_requires_bound(self, small_instance):
-        with pytest.raises(ValueError, match="rho / deadlines"):
-            get_solver("TimeConstrained").solve(small_instance)
+    def test_time_constrained_defaults_to_feasible_bound(self, small_instance):
+        # With neither rho nor deadlines, the adapter falls back to the
+        # always-feasible response bound horizon_bound() (and records it).
+        report = get_solver("TimeConstrained").solve(small_instance)
+        assert report.feasible
+        assert report.params["rho"] == small_instance.horizon_bound()
         with pytest.raises(ValueError, match="at most one"):
             get_solver("TimeConstrained").solve(
                 small_instance, rho=5,

@@ -287,3 +287,147 @@ class TestCommands:
         )
         assert result.returncode == 0
         assert "MaxWeight" in result.stdout
+
+
+class TestVerifyCommand:
+    def test_verify_trace_cross_checks(self, trace, capsys):
+        assert main(["verify", str(trace), "--solvers", "Greedy,FS-MRT"]) == 0
+        assert "certified" in capsys.readouterr().out
+
+    def test_verify_scenario_with_metamorphic(self, capsys):
+        assert (
+            main(["verify", "--scenario", "hotspot:ports=5,mean=2,horizon=4",
+                  "--solvers", "Greedy", "--metamorphic"])
+            == 0
+        )
+        assert "certified" in capsys.readouterr().out
+
+    def test_verify_report_round_trip(self, trace, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        assert (
+            main(["solve", str(trace), "--solver", "FS-MRT",
+                  "--report-out", str(report_path)])
+            == 0
+        )
+        assert "full report written" in capsys.readouterr().out
+        assert main(["verify", "--report", str(report_path)]) == 0
+
+    def test_verify_corrupted_report_exits_1(self, trace, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        main(["solve", str(trace), "--solver", "Greedy",
+              "--report-out", str(report_path)])
+        capsys.readouterr()
+        data = json.loads(report_path.read_text())
+        data["lower_bounds"] = {"lp_total_response": 1e9}
+        report_path.write_text(json.dumps(data))
+        assert main(["verify", "--report", str(report_path)]) == 1
+        assert "bound-above-objective" in capsys.readouterr().out
+
+    def test_verify_type_corrupted_report_exits_1(self, trace, tmp_path,
+                                                  capsys):
+        # A hand-edited report with a non-numeric bound must yield a
+        # structured malformed-bound violation, not a traceback.
+        report_path = tmp_path / "report.json"
+        main(["solve", str(trace), "--solver", "Greedy",
+              "--report-out", str(report_path)])
+        capsys.readouterr()
+        data = json.loads(report_path.read_text())
+        data["lower_bounds"] = {"rho_star": "oops"}
+        report_path.write_text(json.dumps(data))
+        assert main(["verify", "--report", str(report_path)]) == 1
+        assert "malformed-bound" in capsys.readouterr().out
+
+    def test_verify_infeasible_report_certifies(self, trace, tmp_path,
+                                                capsys):
+        # A legitimate infeasibility certificate (TimeConstrained with a
+        # hopeless rho) is a well-formed report, not a verification
+        # failure: solve exits 1, verify exits 0.
+        report_path = tmp_path / "infeasible.json"
+        assert (
+            main(["solve", str(trace), "--solver", "TimeConstrained",
+                  "-p", "rho=1", "--report-out", str(report_path)])
+            == 1
+        )
+        capsys.readouterr()
+        assert main(["verify", "--report", str(report_path)]) == 0
+        assert "certified" in capsys.readouterr().out
+
+    def test_verify_cache_dir_skips_superseded_records(self, tmp_path,
+                                                       capsys):
+        # Last-writer-wins: a corrupt record superseded by a refreshed
+        # shard can never be served again, so the verifier must certify
+        # the store clean (and count only live records).
+        import os
+
+        record = {
+            "solver": "Greedy", "kind": "offline",
+            "metrics": {
+                "num_flows": 2, "total_response": 4,
+                "average_response": 2.0, "max_response": 3,
+                "makespan": 3, "max_augmentation": 0,
+            },
+            "schedule": None, "lower_bounds": {}, "timings": {},
+            "params": {}, "extras": {},
+        }
+        broken = json.loads(json.dumps(record))
+        broken["metrics"]["average_response"] = 9.0
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        old = cache / "results-1-old.jsonl"
+        new = cache / "results-2-new.jsonl"
+        old.write_text(json.dumps({"key": "k", "report": broken}) + "\n")
+        new.write_text(json.dumps({"key": "k", "report": record}) + "\n")
+        os.utime(old, ns=(1, 1))  # force the ordering the store uses
+        assert main(["verify", "--cache-dir", str(cache)]) == 0
+        assert "certified" in capsys.readouterr().out
+
+    def test_verify_json_output(self, trace, capsys):
+        assert main(["verify", str(trace), "--solvers", "Greedy",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["violations"] == []
+        assert payload["checks"]
+
+    def test_verify_requires_exactly_one_source(self, trace, tmp_path):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["verify"])
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["verify", str(trace), "--cache-dir", str(tmp_path)])
+
+    def test_verify_rejects_stray_flags_in_replay_modes(self, trace,
+                                                        tmp_path):
+        # --metamorphic/--solvers only apply when an instance is built;
+        # silently ignoring them would claim certification for checks
+        # that never ran.
+        report_path = tmp_path / "r.json"
+        main(["solve", str(trace), "--solver", "Greedy",
+              "--report-out", str(report_path)])
+        with pytest.raises(SystemExit, match="--metamorphic applies"):
+            main(["verify", "--report", str(report_path), "--metamorphic"])
+        with pytest.raises(SystemExit, match="--solvers applies"):
+            main(["verify", "--cache-dir", str(tmp_path),
+                  "--solvers", "Greedy"])
+
+    def test_verify_unknown_solver_exits_cleanly(self, trace):
+        with pytest.raises(SystemExit, match="unknown solver"):
+            main(["verify", str(trace), "--solvers", "NoSuchSolver"])
+
+    def test_verify_empty_cache_dir_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="no result shards"):
+            main(["verify", "--cache-dir", str(tmp_path)])
+
+    def test_verify_all_torn_shards_exits_cleanly(self, tmp_path):
+        # Shards present but zero readable records: a clear error beats
+        # "0 violation(s) (0 check(s))".
+        (tmp_path / "results-1-x.jsonl").write_text('{"torn...')
+        with pytest.raises(SystemExit, match="no readable records"):
+            main(["verify", "--cache-dir", str(tmp_path)])
+
+    def test_verify_unreadable_report_exits_cleanly(self, tmp_path):
+        bad = tmp_path / "nope.json"
+        with pytest.raises(SystemExit, match="cannot load report"):
+            main(["verify", "--report", str(bad)])
+
+    def test_fig_verify_flag_parses(self):
+        args = build_parser().parse_args(["fig6", "--quick", "--verify"])
+        assert args.verify

@@ -72,6 +72,27 @@ class TestScheduleAccessors:
         s = _sched(small_instance, [0, 0, 0, 1, 1, 2])  # 3 flows into out 0
         assert s.max_augmentation() == 2
 
+    def test_negative_round_rejected(self, small_instance):
+        # Regression: a leftover -1 "unscheduled" marker used to wrap
+        # into the last round of the load matrices, so an incomplete
+        # schedule could report max_augmentation() == 0 and look
+        # capacity-feasible.  Construction now rejects it.
+        rounds = np.array([0, 1, 2, 1, 1, -1], dtype=np.int64)
+        with pytest.raises(ScheduleError, match="negative round"):
+            Schedule(small_instance, rounds)
+
+    def test_zero_augmentation_is_capacity_only(self, small_instance):
+        # Pin the 0-vs-feasible contract: max_augmentation() == 0 means
+        # capacity-feasible, NOT fully valid — fid 3 (released at round
+        # 1) runs early here without overloading any port.
+        s = _sched(small_instance, [1, 2, 3, 0, 1, 2])
+        assert s.max_augmentation() == 0
+        assert not is_valid_schedule(s)
+        # The conjunction in the docstring: zero augmentation plus no
+        # early flows iff fully valid.
+        ok = _sched(small_instance, [0, 1, 2, 1, 1, 3])
+        assert ok.max_augmentation() == 0 and is_valid_schedule(ok)
+
 
 class TestValidation:
     def test_valid_schedule_passes(self, small_instance):

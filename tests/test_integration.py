@@ -100,3 +100,99 @@ class TestEndToEndOnWorkloads:
             for name in ("MaxCard", "MinRTime", "MaxWeight"):
                 sim = simulate(inst, make_policy(name))
                 assert rho <= sim.metrics.max_response
+
+
+class TestVerifiedCacheRoundTrip:
+    """cache -> resume -> verify: the full persistence + certification loop."""
+
+    def test_cold_warm_and_cli_verify_agree(self, tmp_path):
+        import dataclasses
+
+        from repro.__main__ import main
+        from repro.api.runner import Runner
+        from repro.api.store import close_open_stores
+        from repro.experiments.config import smoke_config
+
+        cache = str(tmp_path / "cache")
+
+        def cells_of(sweep):
+            return {
+                key: dataclasses.asdict(cell)
+                for key, cell in sweep.cells.items()
+            }
+
+        # Cold run with per-trial certification enabled.
+        cold = Runner(smoke_config(), cache_dir=cache, verify=True).run()
+        # Warm run: force a true disk round-trip, still certified (the
+        # record-level checks replay the stored metrics and bounds).
+        close_open_stores()
+        warm = Runner(smoke_config(), cache_dir=cache, verify=True).run()
+        assert cells_of(cold) == cells_of(warm)
+        # The CLI replays the same store through the record checkers.
+        assert main(["verify", "--cache-dir", cache]) == 0
+
+    def test_corrupted_store_fails_cli_verify(self, tmp_path, capsys):
+        import json
+
+        from repro.__main__ import main
+        from repro.api.runner import Runner
+        from repro.experiments.config import smoke_config
+
+        cache = tmp_path / "cache"
+        Runner(smoke_config(), cache_dir=str(cache)).run()
+        shard = sorted(cache.glob("results-*.jsonl"))[0]
+        lines = shard.read_text().splitlines()
+        corrupted = []
+        poisoned = False
+        for line in lines:
+            entry = json.loads(line)
+            metrics = entry["report"].get("metrics")
+            if not poisoned and metrics is not None:
+                metrics["average_response"] += 1.0  # break avg*n == total
+                poisoned = True
+            corrupted.append(json.dumps(entry))
+        assert poisoned
+        shard.write_text("\n".join(corrupted) + "\n")
+        assert main(["verify", "--cache-dir", str(cache)]) == 1
+        out = capsys.readouterr().out
+        violation_line = next(
+            line for line in out.splitlines() if "metrics-identity" in line
+        )
+        # Triage output names the offending record and its shard.
+        assert "results-" in violation_line
+
+
+class TestScenarioStreamMaterializeEquivalence:
+    """scenario -> stream -> materialize, certified through the checkers."""
+
+    @pytest.mark.parametrize(
+        "spec", ["hotspot:ports=6,mean=3,horizon=5",
+                 "onoff-bursty:ports=6,horizon=6"]
+    )
+    def test_stream_equals_materialized_and_both_certify(
+        self, spec, certify
+    ):
+        from repro.online.simulator import simulate_stream
+        from repro.scenarios import build_stream
+
+        stream = build_stream(spec, seed=9)
+        inst = stream.materialize()
+        if inst.num_flows == 0:
+            pytest.skip("empty draw")
+        offline = simulate(inst, make_policy("MaxWeight"), verify=True)
+        online = simulate_stream(
+            stream,
+            make_policy("MaxWeight"),
+            record_schedule=True,
+            record_queue_history=True,
+            verify=True,
+        )
+        # Byte-identical selections, certified on both sides.
+        assert (
+            online.assignment.tolist()
+            == offline.schedule.assignment.tolist()
+        )
+        assert online.metrics == offline.metrics
+        certify(offline)
+        report = certify(online, inst)
+        assert "queue-accounting" in report.checks

@@ -1,0 +1,111 @@
+"""Property-based certification across the whole scenario registry.
+
+Seeded stdlib-``random`` property tests (no new dependencies): for
+every registered scenario, draw small randomized spec variants, run
+every applicable registered solver, and assert ``check_schedule`` and
+``check_lp_certificate`` certify each report.  The point is breadth —
+every (scenario, solver) pair goes through the certificate layer, so a
+future generator or solver change that breaks a guarantee fails here
+before any bespoke suite notices.
+"""
+
+import random
+
+import pytest
+
+from repro.api import get_solver, list_solvers
+from repro.scenarios import ScenarioSpec, build_instance, list_scenarios
+from repro.verify import (
+    check_lp_certificate,
+    check_schedule,
+    check_stream,
+)
+from repro.scenarios import build_stream
+
+#: Seeded variants per scenario (stdlib RNG; deterministic suite).
+VARIANTS_PER_SCENARIO = 2
+
+#: Spec shapes kept deliberately tiny so the LP-backed solvers stay fast.
+_SMALL = {"num_ports": 5, "horizon": 4}
+
+#: Per-scenario param jitter: (param, choices).  Only params every
+#: scenario accepts with these names; everything else rides on defaults.
+_JITTER = {
+    "paper-default": [("mean", (2.0, 3.0, 4.0))],
+    "hotspot": [("mean", (2.0, 3.0)), ("zipf_exponent", (1.1, 1.5))],
+    "incast": [("gap", (1, 2))],
+    "onoff-bursty": [("rate", (2.0, 3.0)), ("p_on", (0.2, 0.4))],
+    "diurnal": [("mean", (2.0, 4.0)), ("period", (4, 8))],
+    "heavy-tailed": [("mean", (2.0, 3.0)), ("alpha", (1.4, 2.0))],
+    "permutation": [],
+    "trace-replay": [],
+}
+
+
+def _spec_for(scenario: str, rng: random.Random) -> ScenarioSpec:
+    params = {}
+    for key, choices in _JITTER.get(scenario, []):
+        params[key] = rng.choice(choices)
+    fields = dict(_SMALL)
+    if scenario == "trace-replay":
+        # Shape-deriving: the builtin sample trace sets its own bounds;
+        # only cap the horizon so the instance stays small.
+        fields = {"horizon": 6}
+    return ScenarioSpec(scenario, params=params, **fields)
+
+
+def _solvers_for(instance):
+    """Every registered switch-instance solver applicable to ``instance``.
+
+    Offline + online kinds (coflow solvers consume CoflowInstances);
+    solvers declaring ``requires_unit_demands`` (FS-ART, Theorem 1's
+    unit-demand pipeline) only run where the precondition holds — the
+    same flag :func:`repro.verify.differential._applicable` consults.
+    """
+    names = list_solvers("offline") + list_solvers("online")
+    if not instance.is_unit_demand:
+        names = [
+            n for n in names
+            if not getattr(get_solver(n), "requires_unit_demands", False)
+        ]
+    return names
+
+
+def _assert_certified(report, instance, context: str) -> None:
+    schedule_check = check_schedule(
+        report.schedule, metrics=report.metrics, subject=context
+    )
+    assert schedule_check.ok, schedule_check.render()
+    certificate = check_lp_certificate(
+        report, instance=instance, subject=context
+    )
+    assert certificate.ok, certificate.render()
+
+
+def test_registry_has_the_eight_builtin_scenarios():
+    assert len(list_scenarios()) >= 8
+
+
+@pytest.mark.parametrize("scenario", sorted(list_scenarios()))
+def test_every_solver_certifies_on_scenario(scenario):
+    rng = random.Random(f"verify-properties:{scenario}")
+    for _ in range(VARIANTS_PER_SCENARIO):
+        spec = _spec_for(scenario, rng)
+        seed = rng.randrange(2**20)
+        instance = build_instance(spec, seed=seed)
+        if instance.num_flows == 0:
+            continue
+        for name in _solvers_for(instance):
+            report = get_solver(name).solve(instance)
+            context = f"{name}@{spec.label()}#seed={seed}"
+            assert report.schedule is not None, context
+            _assert_certified(report, instance, context)
+
+
+@pytest.mark.parametrize("scenario", sorted(list_scenarios()))
+def test_every_scenario_stream_certifies(scenario):
+    rng = random.Random(f"verify-streams:{scenario}")
+    spec = _spec_for(scenario, rng)
+    stream = build_stream(spec, seed=rng.randrange(2**20))
+    report = check_stream(stream, rounds=min(stream.rounds or 6, 6))
+    assert report.ok, report.render()

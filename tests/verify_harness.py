@@ -1,0 +1,89 @@
+"""Pytest certification harness over :mod:`repro.verify`.
+
+Import-side plugin exposing ``certify``-style fixtures so any suite can
+route its artifacts through the certificate checkers without
+re-implementing assertions; ``tests/conftest.py`` re-exports the
+fixtures, so every test file simply takes them as arguments:
+
+``certify``
+    ``certify(obj, instance=None, **kwargs)`` — dispatch any supported
+    object (Schedule, SolveReport, SimulationResult,
+    StreamSimulationResult, ArrivalStream, Instance, cached record
+    dict) to its checker and ``pytest.fail`` with the rendered violation
+    list unless it certifies.  Returns the
+    :class:`~repro.verify.VerificationReport` for stats-level
+    assertions.
+
+``certify_instance``
+    ``certify_instance(instance, solvers=None, **kwargs)`` — run
+    :func:`repro.verify.cross_check` and fail on any violation; returns
+    the :class:`~repro.verify.CrossCheckResult` so tests can inspect
+    per-solver reports and oracle bounds.
+
+``certify_violations``
+    ``certify_violations(obj, *codes, **kwargs)`` — the negative-path
+    helper: certify ``obj`` expecting failure, assert every given
+    violation code is present, and return the report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify import certify as _certify_object
+from repro.verify import cross_check as _cross_check
+
+
+def _fail(report) -> None:
+    pytest.fail(f"certification failed\n{report.render()}", pytrace=False)
+
+
+@pytest.fixture
+def certify():
+    """Certify any supported object; fail the test on violations."""
+
+    def _check(obj, *args, **kwargs):
+        report = _certify_object(obj, *args, **kwargs)
+        if not report.ok:
+            _fail(report)
+        return report
+
+    return _check
+
+
+@pytest.fixture
+def certify_instance():
+    """Cross-check solvers on an instance; fail the test on violations."""
+
+    def _check(instance, solvers=None, **kwargs):
+        result = _cross_check(instance, solvers=solvers, **kwargs)
+        if not result.ok:
+            _fail(result.verification)
+        return result
+
+    return _check
+
+
+@pytest.fixture
+def certify_violations():
+    """Certify expecting failure; assert the named codes were found."""
+
+    def _check(obj, *codes, **kwargs):
+        report = _certify_object(obj, **kwargs)
+        found = {v.code for v in report.violations}
+        if not report.violations:
+            pytest.fail(
+                f"expected violations {sorted(codes)} but {report.subject} "
+                "certified clean",
+                pytrace=False,
+            )
+        missing = set(codes) - found
+        if missing:
+            pytest.fail(
+                f"expected violation codes {sorted(missing)} not found; "
+                f"got {sorted(found)}",
+                pytrace=False,
+            )
+        return report
+
+    return _check

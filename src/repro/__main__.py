@@ -29,6 +29,18 @@ Commands
     Write a Poisson/uniform trace (the paper's workload) to a file.
 ``probe-open-problem``
     Explore the Section 6 open question empirically.
+``serve --cache-dir DIR`` / ``serve --join DIR``
+    Run the long-lived solve service (``repro.service``): HTTP endpoint
+    with digest-coalescing, admission control, and a work-stealing
+    worker pool over the shared cache dir.  ``--join DIR`` starts a
+    worker-only process that steals queued jobs from a running
+    service's directory (a second machine, or just more cores).
+``submit --address URL``
+    Blocking client for a running service: submit one solve (trace,
+    inline, or ``--scenario``) and print the served report.
+``bench``
+    Run the script-mode benchmark suites and write committed,
+    machine-normalized ``BENCH_*.json`` snapshots (``repro.bench``).
 """
 
 from __future__ import annotations
@@ -80,15 +92,33 @@ def _cmd_figures(args, which: str) -> int:
         raise SystemExit("error: --resume/--no-cache require --cache-dir")
     if args.resume and args.no_cache:
         raise SystemExit("error: --resume and --no-cache are mutually exclusive")
-    sweep = run_sweep(
-        config,
-        compute_lp_bounds=not args.no_lp,
-        verbose=True,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        resume=not args.no_cache,
-        verify=args.verify,
-    )
+    from repro.api import SweepInterrupted
+
+    try:
+        sweep = run_sweep(
+            config,
+            compute_lp_bounds=not args.no_lp,
+            verbose=True,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            resume=not args.no_cache,
+            verify=args.verify,
+        )
+    except SweepInterrupted as exc:
+        print(f"\ninterrupted: {exc}", file=sys.stderr)
+        if args.cache_dir:
+            print(
+                f"partial results kept in {args.cache_dir}; rerun the same "
+                "command to resume from them",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "no --cache-dir was set, so the partial results are gone; "
+                "pass --cache-dir DIR to make interrupted sweeps resumable",
+                file=sys.stderr,
+            )
+        return 130  # conventional SIGINT exit status
     print()
     print(render_fig6(sweep) if which == "fig6" else render_fig7(sweep))
     return 0
@@ -448,6 +478,130 @@ def _cmd_probe(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    if (args.cache_dir is None) == (args.join is None):
+        raise SystemExit(
+            "error: pass exactly one of --cache-dir DIR (run the full "
+            "service) or --join DIR (worker-only: steal jobs from a "
+            "running service's directory)"
+        )
+
+    if args.join is not None:
+        # Worker-only mode: no HTTP listener, just claim-solve-store
+        # loops over the shared directory until SIGTERM/Ctrl-C.
+        import signal
+        import threading
+
+        from repro.service import WorkerPool
+
+        stop = threading.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            signal.signal(sig, lambda *_: stop.set())
+        pool = WorkerPool(args.join, args.workers)
+        pool.start()
+        print(
+            f"joined work queue at {args.join} with {args.workers} "
+            "worker(s); Ctrl-C or SIGTERM to stop",
+            flush=True,
+        )
+        try:
+            while not stop.wait(0.2):
+                pass
+        finally:
+            pool.stop()
+        print("workers drained; stopped cleanly")
+        return 0
+
+    import asyncio
+    import signal
+
+    from repro.service import BrokerConfig, SolveService
+
+    service = SolveService(
+        args.cache_dir,
+        host=args.host,
+        port=args.port,
+        config=BrokerConfig(
+            queue_depth=args.queue_depth,
+            solver_cap=args.solver_cap,
+            default_timeout=args.timeout,
+            verify=args.verify,
+        ),
+        workers=args.workers,
+    )
+
+    async def _serve() -> None:
+        await service.start()
+        print(
+            f"solve service on {service.address} "
+            f"(cache {args.cache_dir}, {args.workers} worker(s)"
+            + (", verify on" if args.verify else "")
+            + "); Ctrl-C or SIGTERM to drain and stop",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        print("draining...", flush=True)
+        await service.stop(drain_timeout=args.drain_timeout)
+
+    asyncio.run(_serve())
+    print("stopped cleanly")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    if (args.trace is None) == (args.scenario is None):
+        raise SystemExit(
+            "error: pass exactly one of TRACE or --scenario NAME[:k=v,...]"
+        )
+    instance = None
+    if args.trace is not None:
+        from repro.workloads.trace import load_trace
+
+        try:
+            instance = load_trace(args.trace)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"error: {exc}")
+    client = ServiceClient(args.address, timeout=args.http_timeout)
+    try:
+        response = client.solve(
+            args.solver,
+            instance=instance,
+            scenario=args.scenario,
+            seed=args.seed,
+            params=_parse_params(args.param),
+            verify=args.verify,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
+    except ServiceError as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.json:
+        print(json.dumps(response.to_dict(), indent=1, sort_keys=True))
+        return 0
+    report = response.solve_report()
+    print(
+        f"{response.solver} via {response.source}"
+        + (" (certified)" if response.certified else "")
+        + f" digest={response.digest[:16]}…"
+    )
+    print(report.metrics if report.metrics is not None else "infeasible")
+    for name, value in sorted(report.lower_bounds.items()):
+        print(f"  lower bound {name} = {value:g}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import main as bench_main
+
+    return bench_main(args)
+
+
 def _write_assignment(schedule, path: str) -> None:
     from repro.core.metrics import ScheduleMetrics
 
@@ -580,6 +734,78 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=10)
     p.add_argument("--seed", type=int, default=0)
 
+    p = sub.add_parser(
+        "serve", help="run the long-lived solve service (repro.service)"
+    )
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="result-store directory to serve (also holds the "
+                        "work queue)")
+    p.add_argument("--join", default=None, metavar="DIR",
+                   help="worker-only mode: steal queued jobs from a running "
+                        "service's cache dir (no HTTP listener)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642,
+                   help="listen port (0 picks a free one; default 8642)")
+    p.add_argument("--workers", type=_positive_int, default=2,
+                   help="work-stealing worker processes (default 2)")
+    p.add_argument("--queue-depth", type=_positive_int, default=64,
+                   help="max keys in flight before 429 queue-full")
+    p.add_argument("--solver-cap", type=_positive_int, default=16,
+                   help="max in-flight keys per solver before 429 "
+                        "solver-busy")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="default per-request wait bound, seconds")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   help="seconds to wait for in-flight solves on shutdown")
+    p.add_argument("--verify", action="store_true",
+                   help="certify every fresh solve before it is stored "
+                        "and record-check cache hits before serving them")
+
+    p = sub.add_parser(
+        "submit", help="submit one solve to a running service"
+    )
+    p.add_argument("trace", nargs="?", default=None,
+                   help="JSON trace to submit inline")
+    p.add_argument("--address", default="http://127.0.0.1:8642",
+                   help="service address (default http://127.0.0.1:8642)")
+    p.add_argument("--solver", default="MaxWeight",
+                   help="registry name (see list-solvers)")
+    p.add_argument("--scenario", default=None, metavar="NAME[:k=v,...]",
+                   help="solve a generated scenario instead of a trace "
+                        "(built server-side with --seed)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="scenario generation seed (with --scenario)")
+    p.add_argument("-p", "--param", action="append", metavar="KEY=VALUE",
+                   help="solver parameter (repeatable; value parsed as JSON)")
+    p.add_argument("--verify", action="store_true",
+                   help="request certification for this solve")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-request wait bound, seconds (server default "
+                        "otherwise)")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retry count for 429 overload rejections "
+                        "(honours Retry-After)")
+    p.add_argument("--http-timeout", type=float, default=300.0,
+                   help="transport timeout per HTTP exchange, seconds")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw protocol response")
+
+    p = sub.add_parser(
+        "bench",
+        help="run benchmark suites; write normalized BENCH_*.json snapshots",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="reduced sizes/repeats (CI smoke mode)")
+    p.add_argument("--bench-dir", default="benchmarks", metavar="DIR",
+                   help="directory holding bench_*.py suites")
+    p.add_argument("--out-dir", default=".", metavar="DIR",
+                   help="where BENCH_<suite>.json snapshots are written "
+                        "(default: current directory; commit them to extend "
+                        "the perf history)")
+    p.add_argument("--only", default=None, metavar="A,B,...",
+                   help="run only these suites (names without the bench_ "
+                        "prefix)")
+
     return parser
 
 
@@ -593,6 +819,9 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "generate": _cmd_generate,
     "probe-open-problem": _cmd_probe,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "bench": _cmd_bench,
 }
 
 

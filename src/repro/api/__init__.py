@@ -30,6 +30,7 @@ from repro.api.executors import (
     Executor,
     MultiprocessingExecutor,
     SerialExecutor,
+    SweepInterrupted,
     make_executor,
 )
 from repro.api.protocol import SOLVER_KINDS, Solver
@@ -67,6 +68,7 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "MultiprocessingExecutor",
+    "SweepInterrupted",
     "make_executor",
     "EXECUTOR_NAMES",
 ]

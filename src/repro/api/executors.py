@@ -28,6 +28,68 @@ from typing import (
 )
 
 
+class SweepInterrupted(KeyboardInterrupt):
+    """A sweep was interrupted mid-flight, with partial results flushed.
+
+    Raised by :class:`MultiprocessingExecutor` in place of a bare
+    ``KeyboardInterrupt`` after every open result-store shard — the
+    workers' and the parent's — has been flushed and closed, so the
+    message it carries is true: completed work items survive on disk
+    and a rerun against the same ``--cache-dir`` resumes from them.
+    Subclasses ``KeyboardInterrupt`` so existing Ctrl-C handling
+    (shells, test harnesses, ``except KeyboardInterrupt``) sees exactly
+    the exception it expects.
+    """
+
+
+class _WorkerInterrupted(Exception):
+    """Picklable stand-in for a ``KeyboardInterrupt`` inside a pool worker.
+
+    ``multiprocessing.Pool`` workers only ship ``Exception`` results back
+    to the parent; a raw ``KeyboardInterrupt`` (``BaseException``) kills
+    the worker's task loop instead, the item's result is never delivered,
+    and the parent's ``map`` blocks forever — the interrupt is silently
+    swallowed.  Wrapping it as a regular ``Exception`` makes the pool
+    propagate it like any task failure.
+    """
+
+
+class _InterruptSafe:
+    """Wraps the mapped function so worker-side interrupts surface cleanly.
+
+    On ``KeyboardInterrupt`` (a terminal Ctrl-C is delivered to the whole
+    process group, so workers race the parent to it) the worker first
+    flushes and closes its open result-store shards — no half-buffered
+    records are lost with the process — then raises
+    :class:`_WorkerInterrupted` for the parent to convert back.
+    """
+
+    def __init__(self, fn: Callable[[Any], Any]):
+        self.fn = fn
+
+    def __call__(self, item):
+        try:
+            return self.fn(item)
+        except KeyboardInterrupt:
+            from repro.api.store import close_open_stores
+
+            close_open_stores()
+            raise _WorkerInterrupted()
+
+
+def _interrupted(cause: BaseException) -> SweepInterrupted:
+    """Flush the parent's stores and build the partial-results interrupt."""
+    from repro.api.store import close_open_stores
+
+    close_open_stores()
+    exc = SweepInterrupted(
+        "sweep interrupted — completed work items were flushed to their "
+        "result-store shards; rerun with the same --cache-dir to resume"
+    )
+    exc.__cause__ = cause
+    return exc
+
+
 class Executor(Protocol):
     """Order-preserving ``map``/``imap`` over work items."""
 
@@ -100,7 +162,10 @@ class MultiprocessingExecutor:
         if workers <= 1:
             return [fn(item) for item in items]
         with multiprocessing.Pool(processes=workers) as pool:
-            return pool.map(fn, items, chunksize=chunk)
+            try:
+                return pool.map(_InterruptSafe(fn), items, chunksize=chunk)
+            except (KeyboardInterrupt, _WorkerInterrupted) as exc:
+                raise _interrupted(exc)
 
     def imap(self, fn, items):
         items, workers, chunk = self._plan(items)
@@ -109,7 +174,10 @@ class MultiprocessingExecutor:
                 yield fn(item)
             return
         with multiprocessing.Pool(processes=workers) as pool:
-            yield from pool.imap(fn, items, chunksize=chunk)
+            try:
+                yield from pool.imap(_InterruptSafe(fn), items, chunksize=chunk)
+            except (KeyboardInterrupt, _WorkerInterrupted) as exc:
+                raise _interrupted(exc)
 
 
 #: Registry of executor names accepted by :func:`make_executor`.

@@ -15,7 +15,7 @@ channel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional
 
 import numpy as np
@@ -104,6 +104,19 @@ class SolveReport:
             )
             out[name] = (float(value), objective)
         return out
+
+    def to_stored_dict(self) -> dict:
+        """The :meth:`to_dict` payload as persisted by the result store.
+
+        Strips the two fields the store never keeps: wall-clock
+        ``timings`` (the one nondeterministic field — stripping keeps
+        the store content-deterministic) and the ``schedule`` (it embeds
+        a full instance copy that sweeps and the solve service never
+        read back).  Shared by :func:`repro.api.runner.run_trial` and
+        the service workers so a record written by either is
+        byte-identical for the same work.
+        """
+        return replace(self, schedule=None, timings={}).to_dict()
 
     def to_dict(self) -> dict:
         """JSON-serializable representation (inverse of :meth:`from_dict`)."""

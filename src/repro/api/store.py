@@ -66,39 +66,54 @@ def canonical_key(solver: str, instance_digest: str, params: dict) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def _parse_entry(line: str) -> Optional[dict]:
+    """Parse one shard line, or ``None`` for torn/garbled content.
+
+    The single definition of line tolerance: entries must carry a
+    ``key`` and a *dict* ``report`` (a null or non-dict report would
+    crash every consumer — ``run_trial`` reads ``record["metrics"]``,
+    the verifier reads ``record.get(...)`` — so it is garbage by
+    definition).
+    """
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        entry = json.loads(line)
+        entry["key"]
+        if not isinstance(entry["report"], dict):
+            return None
+    except (json.JSONDecodeError, KeyError, TypeError):
+        # Torn tail line of a killed writer; every complete line
+        # before it is still usable.
+        return None
+    return entry
+
+
+def _sorted_shards(cache_dir: Path):
+    """Shard files oldest-modified first (name-tiebroken)."""
+    return sorted(
+        cache_dir.glob("results-*.jsonl"),
+        key=lambda p: (p.stat().st_mtime_ns, p.name),
+    )
+
+
 def _iter_shard_entries(cache_dir: Path):
     """Yield ``(shard_path, entry)`` for every complete shard line.
 
     The single definition of the store's read semantics: shards ordered
-    oldest-modified first (name-tiebroken), torn/garbled lines skipped,
-    entries required to carry a ``key`` and a *dict* ``report`` (a null
-    or non-dict report would crash every consumer — ``run_trial`` reads
-    ``record["metrics"]``, the verifier reads ``record.get(...)`` — so
-    it is garbage by definition).  Everything that reads a store
-    directory — :meth:`ResultStore._load`, :func:`live_records` (and
-    through it the CLI verifier) — goes through here, so the ordering
-    and tolerance can never diverge.
+    oldest-modified first (name-tiebroken), torn/garbled lines skipped
+    (:func:`_parse_entry`).  Everything that reads a store directory —
+    :meth:`ResultStore._load`, :func:`live_records` (and through it the
+    CLI verifier) — goes through here or :func:`_parse_entry`, so the
+    ordering and tolerance can never diverge.
     """
-    shards = sorted(
-        cache_dir.glob("results-*.jsonl"),
-        key=lambda p: (p.stat().st_mtime_ns, p.name),
-    )
-    for shard in shards:
+    for shard in _sorted_shards(cache_dir):
         with open(shard, "r", encoding="utf-8") as fh:
             for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                    entry["key"]
-                    if not isinstance(entry["report"], dict):
-                        continue
-                except (json.JSONDecodeError, KeyError, TypeError):
-                    # Torn tail line of a killed writer; every complete
-                    # line before it is still usable.
-                    continue
-                yield shard, entry
+                entry = _parse_entry(line)
+                if entry is not None:
+                    yield shard, entry
 
 
 def live_records(cache_dir: "str | Path") -> Dict[str, dict]:
@@ -147,15 +162,74 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self._index: Dict[str, dict] = {}
+        self._offsets: Dict[str, int] = {}
         self._fh = None
         self._load()
+
+    def _consume(self, shard: Path) -> int:
+        """Index every complete line of ``shard`` past the consumed
+        offset; returns the number of entries read.
+
+        Only byte ranges ending at a newline are consumed, so a torn
+        tail (a writer killed mid-line, or a line caught mid-append) is
+        left for the next :meth:`refresh` to re-examine once — and only
+        once — it has been completed.
+        """
+        start = self._offsets.get(shard.name, 0)
+        try:
+            with open(shard, "rb") as fh:
+                fh.seek(start)
+                data = fh.read()
+        except OSError:
+            return 0  # shard vanished between glob and open
+        end = data.rfind(b"\n")
+        if end < 0:
+            return 0
+        count = 0
+        for raw in data[:end].split(b"\n"):
+            entry = _parse_entry(raw.decode("utf-8", errors="replace"))
+            if entry is not None:
+                self._index[entry["key"]] = entry["report"]
+                count += 1
+        self._offsets[shard.name] = start + end + 1
+        return count
 
     def _load(self) -> None:
         # Oldest-modified-first iteration means that, for a key stored
         # more than once (a --no-cache refresh after a solver change),
         # the most recently written record wins.
-        for _, entry in _iter_shard_entries(self.cache_dir):
-            self._index[entry["key"]] = entry["report"]
+        for shard in _sorted_shards(self.cache_dir):
+            self._consume(shard)
+
+    def refresh(self) -> int:
+        """Pick up records other writers appended since the last load.
+
+        Incremental: each shard is tailed from the byte offset already
+        consumed, so a long-lived reader (the solve service's broker)
+        can poll a busy store cheaply — a refresh with nothing new costs
+        one ``glob`` plus one ``stat``-and-``seek`` per shard.  New
+        shard files (other processes joining the store) are picked up
+        whole.  Returns the number of records read; this store's own
+        writes are already indexed by :meth:`put`, so its own open shard
+        is skipped rather than re-read.
+        """
+        own = Path(self._fh.name).name if self._fh is not None else None
+        count = 0
+        for shard in _sorted_shards(self.cache_dir):
+            if shard.name == own:
+                continue
+            count += self._consume(shard)
+        return count
+
+    def lookup(self, key: str) -> Optional[dict]:
+        """The indexed report for a precomputed :func:`canonical_key`.
+
+        Unlike :meth:`get`, does not touch the hit/miss counters and
+        ignores ``read_enabled`` — this is the poll primitive of the
+        solve service's broker, which addresses work by key and polls
+        until another process's worker lands the record.
+        """
+        return self._index.get(key)
 
     def __len__(self) -> int:
         return len(self._index)

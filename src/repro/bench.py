@@ -1,0 +1,218 @@
+"""``repro bench`` — committed, machine-normalized benchmark snapshots.
+
+The script-mode benchmark suites (``benchmarks/bench_*.py`` modules
+exposing ``main(argv)`` with ``--json-out``) measure wall-clock seconds,
+which are meaningless across machines.  This runner makes their output
+committable: it first times a fixed, dependency-free **baseline op** on
+the current machine, then rewrites every ``*_seconds`` measurement with
+a sibling ``*_vs_baseline`` ratio (suite seconds / baseline seconds).
+Two snapshots taken on different hardware then disagree only where the
+*relative* cost of a kernel changed — which is exactly the perf history
+an in-tree ``BENCH_*.json`` trajectory is for.
+
+Snapshot envelope (one file per suite, ``BENCH_<suite>.json``)::
+
+    {
+      "schema_version": 1,
+      "suite": "matching",
+      "quick": true,
+      "baseline_op": {"seconds": ..., "repeats": ..., "description": ...},
+      "results": {... suite payload, ``*_vs_baseline`` fields added ...}
+    }
+
+Raw seconds are kept alongside the ratios — they are useful locally —
+but diffs of committed snapshots should be read through the
+``*_vs_baseline`` fields.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Envelope format stamp.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+#: Best-of repeats for the baseline op.
+BASELINE_REPEATS = 5
+
+#: Work size of the baseline op.  Chosen so one run lands in the
+#: hundreds-of-microseconds range on commodity hardware: long enough to
+#: time stably, short enough that calibration is free.
+BASELINE_SIZE = 20_000
+
+BASELINE_DESCRIPTION = (
+    f"best of {BASELINE_REPEATS}: pure-python loop of {BASELINE_SIZE} "
+    "multiply-mod-accumulate steps (fixed work, no numpy, no allocation)"
+)
+
+
+def baseline_op() -> int:
+    """The calibrated unit of work: a fixed pure-python arithmetic loop.
+
+    Deliberately interpreter-bound (no numpy): the suites' hot loops are
+    a mix of python orchestration and array kernels, and the python
+    interpreter's speed is the machine property that dominates
+    cross-machine variance in this repo's benchmarks.
+    """
+    acc = 1
+    for i in range(1, BASELINE_SIZE):
+        acc = (acc * i + 17) % 1_000_003
+    return acc
+
+
+def calibrate(repeats: int = BASELINE_REPEATS) -> float:
+    """Best-of-``repeats`` seconds for one :func:`baseline_op` run."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        baseline_op()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def normalize(payload, baseline_seconds: float):
+    """Add ``<stem>_vs_baseline`` next to every ``*_seconds`` field.
+
+    Walks the payload recursively; a plain ``"seconds"`` key gets
+    ``"vs_baseline"``.  Non-finite and non-numeric values are left
+    alone.  Returns the payload (mutated in place for dicts/lists).
+    """
+    if isinstance(payload, dict):
+        for key in list(payload):
+            value = payload[key]
+            if (
+                key.endswith("seconds")
+                and isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and value == value  # not NaN
+                and value not in (float("inf"), float("-inf"))
+            ):
+                stem = key[: -len("seconds")].rstrip("_")
+                ratio_key = f"{stem}_vs_baseline" if stem else "vs_baseline"
+                payload[ratio_key] = round(value / baseline_seconds, 4)
+            else:
+                normalize(value, baseline_seconds)
+    elif isinstance(payload, list):
+        for item in payload:
+            normalize(item, baseline_seconds)
+    return payload
+
+
+def discover_suites(bench_dir: "str | Path") -> Dict[str, Path]:
+    """Script-mode suites: ``bench_*.py`` files whose source defines
+    ``main(``.  (A source scan, not an import — the pytest-benchmark
+    only modules must not be imported just to be rejected.)"""
+    suites = {}
+    for path in sorted(Path(bench_dir).glob("bench_*.py")):
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        if "\ndef main(" in text and "--json-out" in text:
+            suites[path.stem[len("bench_"):]] = path
+    return suites
+
+
+def _load_suite(name: str, path: Path):
+    spec = importlib.util.spec_from_file_location(f"repro_bench_{name}", path)
+    if spec is None or spec.loader is None:  # pragma: no cover - defensive
+        raise RuntimeError(f"cannot load benchmark suite {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_suite(
+    name: str,
+    path: Path,
+    out_dir: Path,
+    baseline_seconds: float,
+    quick: bool = True,
+) -> Path:
+    """Run one suite and write its normalized ``BENCH_<name>.json``.
+
+    The suite's own ``main`` writes its raw payload to a scratch file
+    (so this runner composes with any script that honours
+    ``--json-out PATH``); a non-zero suite exit — a failed in-suite
+    assertion like a speedup floor — propagates as ``RuntimeError``.
+    """
+    module = _load_suite(name, path)
+    raw_path = out_dir / f".bench-raw-{name}.json"
+    argv: List[str] = ["--json-out", str(raw_path)]
+    if quick:
+        argv.append("--quick")
+    rc = module.main(argv)
+    if rc:
+        raise RuntimeError(f"benchmark suite {name!r} failed with exit {rc}")
+    try:
+        results = json.loads(raw_path.read_text(encoding="utf-8"))
+    finally:
+        raw_path.unlink(missing_ok=True)
+    snapshot = {
+        "schema_version": SNAPSHOT_SCHEMA_VERSION,
+        "suite": name,
+        "quick": quick,
+        "baseline_op": {
+            "seconds": baseline_seconds,
+            "repeats": BASELINE_REPEATS,
+            "description": BASELINE_DESCRIPTION,
+        },
+        "results": normalize(results, baseline_seconds),
+    }
+    out_path = out_dir / f"BENCH_{name}.json"
+    out_path.write_text(
+        json.dumps(snapshot, indent=1, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return out_path
+
+
+def main(args) -> int:
+    """``repro bench`` entry point (argparse namespace from __main__)."""
+    bench_dir = Path(args.bench_dir)
+    if not bench_dir.is_dir():
+        raise SystemExit(f"error: benchmark dir {args.bench_dir!r} not found")
+    suites = discover_suites(bench_dir)
+    if not suites:
+        raise SystemExit(
+            f"error: no script-mode bench_*.py suites in {args.bench_dir!r}"
+        )
+    selected: Optional[List[str]] = (
+        [s for s in args.only.split(",") if s] if args.only else None
+    )
+    if selected:
+        unknown = sorted(set(selected) - set(suites))
+        if unknown:
+            raise SystemExit(
+                f"error: unknown suite(s) {unknown}; available: "
+                f"{sorted(suites)}"
+            )
+        suites = {name: suites[name] for name in selected}
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    baseline_seconds = calibrate()
+    print(
+        f"baseline op: {baseline_seconds * 1e6:.0f} us "
+        f"({BASELINE_DESCRIPTION})"
+    )
+    written = []
+    for name, path in suites.items():
+        print(f"\n=== {name} ({path.name}) ===")
+        try:
+            out_path = run_suite(
+                name, path, out_dir, baseline_seconds, quick=args.quick
+            )
+        except RuntimeError as exc:
+            raise SystemExit(f"error: {exc}")
+        written.append(out_path)
+        print(f"snapshot: {out_path}")
+    print(
+        f"\n{len(written)} snapshot(s) written; commit them to extend the "
+        "perf history"
+    )
+    return 0

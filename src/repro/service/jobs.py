@@ -1,0 +1,248 @@
+"""The store-backed distributed work queue of the solve service.
+
+The queue lives *inside* the result-store directory — ``<cache_dir>/
+queue/`` — so "share a cache dir" is the complete deployment story: any
+process that can read the store's shards can also steal its work.  One
+unit of work is one file triple keyed by the store's
+:func:`~repro.api.store.canonical_key` (the SHA-256 of ``(solver,
+instance digest, params)``, i.e. exactly the key the finished record is
+stored under):
+
+``<key>.job``
+    The work itself: solver name, params, the full inline instance
+    payload, and the verify flag.  Written atomically (temp file +
+    ``os.replace``) so a scanner never sees a half-written job.
+``<key>.claim``
+    Exclusive-creation lockfile (``O_CREAT | O_EXCL``) naming the owner.
+    Creating it *is* winning the work — the atomicity primitive every
+    shared filesystem provides — which is what lets a second
+    ``repro serve --join <cache-dir>`` process on another machine steal
+    jobs with zero duplicate solves.  A claim left by a crashed worker
+    goes stale after ``stale_after`` seconds and is broken (unlinked);
+    the racers then fight a fresh ``O_EXCL`` round for it.
+``<key>.done``
+    Completion marker with the outcome payload: the stored report (or a
+    structured error for failed jobs), worker identity, per-phase
+    timings, and the certification flag.  Written atomically *after*
+    the result lands in the store, so a broker polling the store never
+    races a half-finished job.  Brokers read done markers without
+    consuming them (several brokers may wait on one key) and discard
+    them once settled; :meth:`JobQueue.sweep_done` garbage-collects
+    markers nobody claimed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Queue subdirectory inside a result-store cache dir.
+QUEUE_DIRNAME = "queue"
+
+#: Seconds after which an unfinished claim is presumed crashed and may
+#: be broken.  Generous: the largest LP solves run minutes, and a stolen
+#: still-running job would be solved twice (correct, just wasted work).
+DEFAULT_CLAIM_TIMEOUT = 600.0
+
+#: Schema stamp inside job files (reject future-format jobs cleanly).
+JOB_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Job:
+    """One queued ``(digest, solver)`` solve, self-contained and inert.
+
+    Carries the full instance payload so a stealing worker needs nothing
+    but the shared directory — no side channel, no scenario registry
+    round-trip, no network.
+    """
+
+    key: str
+    solver: str
+    instance: dict
+    params: Dict = field(default_factory=dict)
+    verify: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": JOB_SCHEMA_VERSION,
+            "key": self.key,
+            "solver": self.solver,
+            "instance": self.instance,
+            "params": dict(self.params),
+            "verify": self.verify,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Job":
+        version = data.get("schema_version", JOB_SCHEMA_VERSION)
+        if version != JOB_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported job schema_version {version!r} (this build "
+                f"reads version {JOB_SCHEMA_VERSION})"
+            )
+        return Job(
+            key=data["key"],
+            solver=data["solver"],
+            instance=data["instance"],
+            params=dict(data.get("params", {})),
+            verify=bool(data.get("verify", False)),
+        )
+
+
+class JobQueue:
+    """File-per-job queue under ``<cache_dir>/queue/`` (see module doc)."""
+
+    def __init__(self, cache_dir: "str | Path"):
+        self.dir = Path(cache_dir) / QUEUE_DIRNAME
+        self.dir.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str, suffix: str) -> Path:
+        return self.dir / f"{key}{suffix}"
+
+    def _write_atomic(self, path: Path, payload: dict) -> None:
+        tmp = self.dir / f".tmp-{uuid.uuid4().hex}"
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # Producer side (broker)
+    # ------------------------------------------------------------------
+
+    def enqueue(self, job: Job) -> bool:
+        """Publish ``job`` for any worker to claim.
+
+        Returns ``False`` without writing when the job is already
+        queued or already carries an unconsumed done marker — the
+        multi-broker case where another front-end enqueued the same key
+        first; the caller simply waits on the shared outcome.
+        """
+        if (
+            self._path(job.key, ".job").exists()
+            or self._path(job.key, ".done").exists()
+        ):
+            return False
+        self._write_atomic(self._path(job.key, ".job"), job.to_dict())
+        return True
+
+    def pending_keys(self) -> List[str]:
+        """Keys with a published job file, in sorted (stable) order."""
+        return sorted(p.stem for p in self.dir.glob("*.job"))
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    def claim(
+        self,
+        key: str,
+        owner: str,
+        stale_after: Optional[float] = DEFAULT_CLAIM_TIMEOUT,
+    ) -> Optional[Job]:
+        """Try to win ``key``; the claimed :class:`Job` on success.
+
+        Exactly one concurrent caller — across every process and machine
+        sharing the directory — receives the job (``O_EXCL`` claim
+        creation).  Losers, completed keys, and keys whose job payload
+        vanished mid-race all get ``None``; a claim older than
+        ``stale_after`` with no done marker is broken so the next scan
+        can re-claim crashed work.
+        """
+        claim = self._path(key, ".claim")
+        try:
+            fd = os.open(claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            if stale_after is not None and not self._path(key, ".done").exists():
+                try:
+                    age = time.time() - claim.stat().st_mtime
+                except OSError:
+                    return None  # claim vanished: owner just finished
+                if age > stale_after:
+                    # Break the crashed owner's claim.  Several workers
+                    # may race this unlink; the missing_ok makes losing
+                    # harmless, and the job is only re-won through a
+                    # fresh O_EXCL round on the next scan.
+                    claim.unlink(missing_ok=True)
+            return None
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"owner": owner}))
+        try:
+            data = json.loads(
+                self._path(key, ".job").read_text(encoding="utf-8")
+            )
+            return Job.from_dict(data)
+        except (OSError, ValueError, KeyError):
+            # The job completed (and was unlinked) between our scan and
+            # our claim, or the payload is garbage; either way there is
+            # nothing to run — release so we don't wedge the key.
+            self.release(key)
+            return None
+
+    def release(self, key: str) -> None:
+        """Drop an unfinished claim so the job can be re-won."""
+        self._path(key, ".claim").unlink(missing_ok=True)
+
+    def complete(self, key: str, outcome: dict) -> None:
+        """Publish ``outcome`` and retire the job.
+
+        Order matters: the done marker appears first (atomic rename), so
+        at no instant is the key neither pending nor done; then the job
+        file and claim are removed, which is what stops scanners from
+        considering the key at all.
+        """
+        self._write_atomic(self._path(key, ".done"), outcome)
+        self._path(key, ".job").unlink(missing_ok=True)
+        self._path(key, ".claim").unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # Outcome side (broker's reaper)
+    # ------------------------------------------------------------------
+
+    def done_keys(self) -> List[str]:
+        """Keys with an unconsumed done marker."""
+        return sorted(p.stem for p in self.dir.glob("*.done"))
+
+    def read_done(self, key: str) -> Optional[dict]:
+        """The outcome payload for ``key``, without consuming it.
+
+        Non-destructive because several brokers may be waiting on the
+        same key; each settles its own waiters, then calls
+        :meth:`discard_done`, and the double-unlink is harmless.
+        """
+        try:
+            return json.loads(
+                self._path(key, ".done").read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return None
+
+    def discard_done(self, key: str) -> None:
+        """Drop a settled done marker."""
+        self._path(key, ".done").unlink(missing_ok=True)
+
+    def sweep_done(self, older_than: float) -> int:
+        """Unlink done markers older than ``older_than`` seconds.
+
+        Markers for jobs whose enqueueing broker died (or that were
+        enqueued out-of-band) would otherwise accumulate forever; the
+        results themselves are safe in the store.  Returns the number
+        swept.
+        """
+        cutoff = time.time() - older_than
+        swept = 0
+        for marker in self.dir.glob("*.done"):
+            try:
+                if marker.stat().st_mtime < cutoff:
+                    marker.unlink(missing_ok=True)
+                    swept += 1
+            except OSError:
+                continue
+        return swept
+
+    def __len__(self) -> int:
+        return len(self.pending_keys())

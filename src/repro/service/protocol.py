@@ -1,0 +1,296 @@
+"""Schema-versioned wire types of the solve service.
+
+One request shape, one response shape, one error shape — all plain
+dataclasses that round-trip through JSON (``to_dict`` / ``from_dict``),
+so the asyncio server, the blocking client, and the CLI ``submit``
+subcommand speak exactly the same protocol.  ``from_dict`` validates
+strictly and raises :class:`ProtocolError` with a stable machine
+``code``; the server maps codes to HTTP statuses
+(:data:`ERROR_STATUS`), so a client can branch on the code without
+parsing prose.
+
+A successful response's ``report`` field is a
+:meth:`repro.api.report.SolveReport.to_stored_dict` payload — the same
+schedule- and timing-stripped record the result store persists — and
+:meth:`SolveResponse.solve_report` rebuilds the typed
+:class:`~repro.api.report.SolveReport` from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+#: Version stamped on every request and response.  Bump when a field
+#: changes meaning; the server rejects requests stamped with a version
+#: it does not speak (``unsupported-version``).
+PROTOCOL_VERSION = 1
+
+#: HTTP status the server answers each structured error code with.
+ERROR_STATUS: Dict[str, int] = {
+    "bad-request": 400,
+    "unsupported-version": 400,
+    "unknown-solver": 400,
+    "not-found": 404,
+    "queue-full": 429,
+    "solver-busy": 429,
+    "draining": 503,
+    "timeout": 504,
+    "solver-error": 500,
+    "verification-failed": 500,
+    "internal": 500,
+}
+
+
+class ProtocolError(ValueError):
+    """A request (or response) payload violates the protocol schema.
+
+    Carries a stable machine ``code`` (a key of :data:`ERROR_STATUS`)
+    so transports can answer with the right HTTP status and clients can
+    branch without string-matching the message.
+    """
+
+    def __init__(self, message: str, code: str = "bad-request"):
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass(frozen=True)
+class ErrorInfo:
+    """Structured error payload of a failed :class:`SolveResponse`.
+
+    ``retry_after`` (seconds) is set on overload rejections — the same
+    value the server sends as the HTTP ``Retry-After`` header — so
+    well-behaved clients can back off precisely.
+    """
+
+    code: str
+    message: str
+    retry_after: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        out: Dict[str, Any] = {"code": self.code, "message": self.message}
+        if self.retry_after is not None:
+            out["retry_after"] = self.retry_after
+        return out
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "ErrorInfo":
+        if not isinstance(data, Mapping) or "code" not in data:
+            raise ProtocolError("error payload must be a mapping with a 'code'")
+        retry = data.get("retry_after")
+        return ErrorInfo(
+            code=str(data["code"]),
+            message=str(data.get("message", "")),
+            retry_after=float(retry) if retry is not None else None,
+        )
+
+
+def _require(condition: bool, message: str, code: str = "bad-request") -> None:
+    if not condition:
+        raise ProtocolError(message, code=code)
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One ``POST /solve`` body.
+
+    Exactly one of ``instance`` (an inline
+    :meth:`~repro.core.instance.Instance.to_dict` payload) or
+    ``scenario`` (a compact ``"name:k=v,..."`` string or a
+    :meth:`~repro.scenarios.ScenarioSpec.to_dict` payload, generated
+    server-side with ``seed``) names the work.  ``params`` are forwarded
+    to ``Solver.solve`` verbatim and participate in the request's cache
+    key, so distinct parameterizations never alias.  ``timeout``
+    (seconds) bounds only this request's wait — the solve itself keeps
+    running and lands in the store for later requests.  ``verify``
+    additionally requests certificate checking even when the service was
+    not started with ``--verify``.
+    """
+
+    solver: str
+    instance: Optional[dict] = None
+    scenario: Optional[Any] = None
+    seed: int = 0
+    params: Dict[str, Any] = field(default_factory=dict)
+    verify: bool = False
+    timeout: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        out: Dict[str, Any] = {
+            "schema_version": PROTOCOL_VERSION,
+            "solver": self.solver,
+        }
+        if self.instance is not None:
+            out["instance"] = self.instance
+        if self.scenario is not None:
+            out["scenario"] = self.scenario
+        if self.seed:
+            out["seed"] = self.seed
+        if self.params:
+            out["params"] = dict(self.params)
+        if self.verify:
+            out["verify"] = True
+        if self.timeout is not None:
+            out["timeout"] = self.timeout
+        return out
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "SolveRequest":
+        _require(
+            isinstance(data, Mapping),
+            f"request body must be a JSON object, got "
+            f"{type(data).__name__}",
+        )
+        version = data.get("schema_version", PROTOCOL_VERSION)
+        _require(
+            version == PROTOCOL_VERSION,
+            f"unsupported protocol schema_version {version!r} "
+            f"(this service speaks version {PROTOCOL_VERSION})",
+            code="unsupported-version",
+        )
+        unknown = set(data) - {
+            "schema_version", "solver", "instance", "scenario", "seed",
+            "params", "verify", "timeout",
+        }
+        _require(not unknown, f"unknown request fields {sorted(unknown)}")
+        solver = data.get("solver")
+        _require(
+            isinstance(solver, str) and bool(solver),
+            "request must name a 'solver' (see list-solvers)",
+        )
+        instance = data.get("instance")
+        scenario = data.get("scenario")
+        _require(
+            (instance is None) != (scenario is None),
+            "request must carry exactly one of 'instance' (inline trace "
+            "payload) or 'scenario' (registry spec)",
+        )
+        if instance is not None:
+            _require(
+                isinstance(instance, Mapping),
+                "'instance' must be an Instance.to_dict payload (object)",
+            )
+        if scenario is not None:
+            _require(
+                isinstance(scenario, (str, Mapping)),
+                "'scenario' must be a compact spec string or a "
+                "ScenarioSpec.to_dict payload",
+            )
+        seed = data.get("seed", 0)
+        _require(
+            isinstance(seed, int) and not isinstance(seed, bool),
+            f"'seed' must be an integer, got {seed!r}",
+        )
+        params = data.get("params", {})
+        _require(
+            isinstance(params, Mapping)
+            and all(isinstance(k, str) for k in params),
+            "'params' must be an object with string keys",
+        )
+        verify = data.get("verify", False)
+        _require(
+            isinstance(verify, bool), f"'verify' must be a boolean, got "
+            f"{verify!r}",
+        )
+        timeout = data.get("timeout")
+        if timeout is not None:
+            _require(
+                isinstance(timeout, (int, float))
+                and not isinstance(timeout, bool)
+                and timeout > 0,
+                f"'timeout' must be a positive number of seconds, got "
+                f"{timeout!r}",
+            )
+            timeout = float(timeout)
+        return SolveRequest(
+            solver=solver,
+            instance=dict(instance) if instance is not None else None,
+            scenario=(
+                dict(scenario) if isinstance(scenario, Mapping) else scenario
+            ),
+            seed=seed,
+            params=dict(params),
+            verify=verify,
+            timeout=timeout,
+        )
+
+
+#: Where a successful response's report came from: answered straight
+#: from the shared result store, attached to an already-in-flight solve
+#: of the same key, or computed by this request's own enqueued job.
+RESPONSE_SOURCES = ("cache", "coalesced", "solved")
+
+
+@dataclass(frozen=True)
+class SolveResponse:
+    """One ``POST /solve`` (or ``GET /result``) response body."""
+
+    status: str  # "ok" | "error"
+    solver: Optional[str] = None
+    digest: Optional[str] = None
+    key: Optional[str] = None
+    source: Optional[str] = None  # one of RESPONSE_SOURCES
+    certified: bool = False
+    report: Optional[dict] = None
+    error: Optional[ErrorInfo] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def solve_report(self):
+        """The typed :class:`~repro.api.report.SolveReport` this response
+        carries (raises on error responses)."""
+        from repro.api.report import SolveReport
+
+        if self.report is None:
+            raise ValueError(
+                f"response carries no report (status={self.status!r}"
+                + (f", error={self.error.code!r}" if self.error else "")
+                + ")"
+            )
+        return SolveReport.from_dict(self.report)
+
+    def to_dict(self) -> dict:
+        out: Dict[str, Any] = {
+            "schema_version": PROTOCOL_VERSION,
+            "status": self.status,
+        }
+        for name in ("solver", "digest", "key", "source", "report"):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        if self.certified:
+            out["certified"] = True
+        if self.error is not None:
+            out["error"] = self.error.to_dict()
+        return out
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "SolveResponse":
+        _require(
+            isinstance(data, Mapping) and "status" in data,
+            "response body must be a JSON object with a 'status'",
+        )
+        error = data.get("error")
+        return SolveResponse(
+            status=str(data["status"]),
+            solver=data.get("solver"),
+            digest=data.get("digest"),
+            key=data.get("key"),
+            source=data.get("source"),
+            certified=bool(data.get("certified", False)),
+            report=data.get("report"),
+            error=ErrorInfo.from_dict(error) if error is not None else None,
+        )
+
+
+def error_response(
+    code: str, message: str, retry_after: Optional[float] = None
+) -> SolveResponse:
+    """A failed :class:`SolveResponse` carrying a structured error."""
+    return SolveResponse(
+        status="error",
+        error=ErrorInfo(code=code, message=message, retry_after=retry_after),
+    )

@@ -66,6 +66,35 @@ from repro.verify.violations import (
 )
 
 
+def certify_solve(solve_report, instance, subject: str = ""):
+    """Full fresh-solve certification: schedule feasibility + certificate.
+
+    The exact pass a ``Runner(verify=True)`` sweep applies to a freshly
+    computed report while its schedule is still in hand — schedule
+    release/capacity/conservation/metrics checks merged with the
+    LP-certificate bound checks (``recompute=False``: the claimed
+    bounds are certified against the achieved objectives, not re-solved).
+    Shared by :func:`repro.api.runner.run_trial` and the solve service's
+    workers (:mod:`repro.service.worker`) so both certify identically.
+    Returns the merged :class:`VerificationReport`; callers decide
+    whether to ``raise_if_failed``.
+    """
+    verification = check_schedule(
+        solve_report.schedule,
+        metrics=solve_report.metrics,
+        subject=subject or f"solve:{solve_report.solver}",
+    )
+    verification.merge(
+        check_lp_certificate(
+            solve_report,
+            instance=instance,
+            recompute=False,
+            subject="certificate",
+        )
+    )
+    return verification
+
+
 def certify(obj: Any, instance: Optional[Any] = None, **kwargs):
     """Certify any supported object, dispatching to the right checker.
 
@@ -128,6 +157,7 @@ __all__ = [
     "check_record",
     "check_stream",
     "certify",
+    "certify_solve",
     "cross_check",
     "CrossCheckResult",
     "metamorphic_check",

@@ -227,6 +227,36 @@ class TestExecutors:
         with pytest.raises(ValueError, match="configure"):
             make_executor(SerialExecutor(), jobs=4)
 
+    def test_worker_keyboard_interrupt_surfaces(self, tmp_path):
+        """Regression: a KeyboardInterrupt inside a pool worker used to
+        be swallowed (``multiprocessing.Pool`` only ships ``Exception``
+        results back), hanging the parent ``map`` forever.  It must
+        surface as ``SweepInterrupted`` — still a ``KeyboardInterrupt``
+        for outer Ctrl-C handling — with completed items' records
+        flushed to their shards."""
+        from repro.api import SweepInterrupted
+
+        pool = MultiprocessingExecutor(jobs=2, chunk_size=1)
+        items = [(str(tmp_path), i) for i in range(8)]
+        with pytest.raises(SweepInterrupted) as excinfo:
+            pool.map(_put_or_interrupt, items)
+        assert isinstance(excinfo.value, KeyboardInterrupt)
+        assert "rerun" in str(excinfo.value)
+        # Every non-interrupting item's record survived the interrupt.
+        from repro.api.store import live_records
+
+        live = live_records(tmp_path)
+        digests = {entry["instance"] for entry in live.values()}
+        assert digests == {f"digest-{i}" for i in range(8) if i != 5}
+
+    def test_worker_keyboard_interrupt_surfaces_from_imap(self, tmp_path):
+        from repro.api import SweepInterrupted
+
+        pool = MultiprocessingExecutor(jobs=2, chunk_size=1)
+        items = [(str(tmp_path), i) for i in range(8)]
+        with pytest.raises(SweepInterrupted):
+            list(pool.imap(_put_or_interrupt, items))
+
     def test_infeasible_solver_in_sweep_raises_clearly(self, runner_config):
         from repro.api import SolveReport, register_solver, unregister_solver
         from repro.api.runner import Runner
@@ -247,6 +277,20 @@ class TestExecutors:
 
 def _square(x):
     return x * x
+
+
+def _put_or_interrupt(item):
+    """Pool-worker body for the interrupt regression tests: persists a
+    record per item, except item 5, which simulates a Ctrl-C landing in
+    the worker mid-sweep."""
+    cache_dir, idx = item
+    if idx == 5:
+        raise KeyboardInterrupt
+    from repro.api.store import open_store
+
+    store = open_store(cache_dir)
+    store.put("T", f"digest-{idx}", {}, {"solver": "T", "idx": idx})
+    return idx
 
 
 @pytest.fixture(scope="module")

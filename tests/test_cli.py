@@ -431,3 +431,230 @@ class TestVerifyCommand:
     def test_fig_verify_flag_parses(self):
         args = build_parser().parse_args(["fig6", "--quick", "--verify"])
         assert args.verify
+
+
+class TestServiceCommands:
+    def test_serve_requires_exactly_one_dir(self, tmp_path):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["serve"])
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["serve", "--cache-dir", str(tmp_path),
+                  "--join", str(tmp_path)])
+
+    def test_submit_requires_exactly_one_source(self, trace):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["submit"])
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["submit", str(trace), "--scenario", "hotspot"])
+
+    def test_serve_join_drains_queue_until_sigterm(self, tmp_path, capsys):
+        """Worker-only mode: enqueue one job, run ``serve --join`` in the
+        main thread, SIGTERM it from a watcher once the job completes."""
+        import os
+        import signal
+        import threading
+        import time
+
+        from repro.api.store import canonical_key, live_records
+        from repro.service import Job, JobQueue
+        from repro.workloads.synthetic import poisson_uniform_workload
+
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        instance = poisson_uniform_workload(4, 3.0, 3, seed=11)
+        key = canonical_key("Greedy", instance.digest(), {})
+        queue = JobQueue(cache)
+        assert queue.enqueue(
+            Job(key=key, solver="Greedy", instance=instance.to_dict())
+        )
+
+        def stop_when_done():
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline and not queue.done_keys():
+                time.sleep(0.05)
+            os.kill(os.getpid(), signal.SIGTERM)
+
+        watcher = threading.Thread(target=stop_when_done)
+        old = {
+            sig: signal.getsignal(sig)
+            for sig in (signal.SIGINT, signal.SIGTERM)
+        }
+        watcher.start()
+        try:
+            rc = main(["serve", "--join", str(cache), "--workers", "1"])
+        finally:
+            watcher.join()
+            for sig, handler in old.items():
+                signal.signal(sig, handler)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "joined work queue" in out
+        assert "workers drained; stopped cleanly" in out
+        records = live_records(str(cache))
+        assert list(records) == [key]
+
+    def test_serve_full_service_drains_on_sigterm(self, tmp_path, capsys):
+        """Full mode: drive a solve through a live ``repro serve`` from a
+        helper thread, then SIGTERM the (main-thread) event loop."""
+        import os
+        import signal
+        import socket
+        import threading
+        import time
+
+        from repro.service import ServiceClient
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        outcome = {}
+
+        def drive():
+            client = ServiceClient(f"http://127.0.0.1:{port}", timeout=60)
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                try:
+                    client.healthz()
+                    break
+                except Exception:
+                    time.sleep(0.05)
+            try:
+                outcome["response"] = client.solve(
+                    "Greedy",
+                    scenario="hotspot:ports=8,mean=4,horizon=6",
+                    seed=5,
+                )
+            finally:
+                os.kill(os.getpid(), signal.SIGTERM)
+
+        driver = threading.Thread(target=drive)
+        driver.start()
+        try:
+            rc = main([
+                "serve", "--cache-dir", str(tmp_path / "cache"),
+                "--port", str(port), "--workers", "1",
+            ])
+        finally:
+            driver.join()
+        assert rc == 0
+        assert outcome["response"].source == "solved"
+        out = capsys.readouterr().out
+        assert "solve service on" in out
+        assert "draining..." in out
+        assert "stopped cleanly" in out
+
+    def test_submit_unreachable_service_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="cannot reach"):
+            main(["submit", "--scenario", "hotspot:ports=8",
+                  "--address", "http://127.0.0.1:1", "--http-timeout", "2"])
+
+    def test_submit_round_trip_against_live_service(self, tmp_path, capsys):
+        from repro.service import ServiceThread
+
+        with ServiceThread(
+            str(tmp_path / "cache"), workers=1, worker_mode="thread"
+        ) as svc:
+            rc = main([
+                "submit", "--address", svc.address,
+                "--scenario", "hotspot:ports=8,mean=4,horizon=6",
+                "--solver", "Greedy", "--seed", "3", "--verify",
+            ])
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "via solved (certified)" in out
+            # JSON mode round-trips the raw protocol response.
+            rc = main([
+                "submit", "--address", svc.address,
+                "--scenario", "hotspot:ports=8,mean=4,horizon=6",
+                "--solver", "Greedy", "--seed", "3", "--json",
+            ])
+            assert rc == 0
+            response = json.loads(capsys.readouterr().out)
+            assert response["source"] == "cache"
+            assert response["report"]["solver"] == "Greedy"
+
+
+class TestBenchCommand:
+    def test_bench_unknown_suite_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="unknown suite"):
+            main(["bench", "--only", "nope"])
+
+    def test_bench_missing_dir_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["bench", "--bench-dir", "no-such-dir"])
+
+    def test_bench_writes_normalized_snapshot(self, tmp_path, capsys):
+        """End-to-end on a synthetic suite (the real ones are minutes)."""
+        suite = tmp_path / "bench_toy.py"
+        suite.write_text(
+            "import argparse, json, time\n"
+            "def main(argv=None):\n"
+            "    p = argparse.ArgumentParser()\n"
+            "    p.add_argument('--json-out')\n"
+            "    p.add_argument('--quick', action='store_true')\n"
+            "    a = p.parse_args(argv)\n"
+            "    t0 = time.perf_counter()\n"
+            "    sum(i * i for i in range(100_000))\n"
+            "    s = time.perf_counter() - t0\n"
+            "    payload = {'op': {'seconds': s, 'quick': a.quick},\n"
+            "               'untimed': {'count': 3}}\n"
+            "    json.dump(payload, open(a.json_out, 'w'))\n"
+            "    return 0\n"
+            "# --json-out\n"
+        )
+        rc = main([
+            "bench", "--quick", "--bench-dir", str(tmp_path),
+            "--out-dir", str(tmp_path / "out"),
+        ])
+        assert rc == 0
+        assert "snapshot" in capsys.readouterr().out
+        snapshot = json.loads(
+            (tmp_path / "out" / "BENCH_toy.json").read_text()
+        )
+        assert snapshot["schema_version"] == 1
+        assert snapshot["suite"] == "toy"
+        assert snapshot["quick"] is True
+        baseline = snapshot["baseline_op"]["seconds"]
+        cell = snapshot["results"]["op"]
+        assert cell["quick"] is True
+        assert cell["vs_baseline"] == pytest.approx(
+            cell["seconds"] / baseline, rel=1e-3
+        )
+        # Untimed fields pass through unnormalized.
+        assert snapshot["results"]["untimed"] == {"count": 3}
+        # The scratch file is cleaned up.
+        assert not list((tmp_path / "out").glob(".bench-raw-*"))
+
+    def test_bench_failing_suite_exits_cleanly(self, tmp_path):
+        suite = tmp_path / "bench_sad.py"
+        suite.write_text(
+            "# synthetic failing suite\n"
+            "def main(argv=None):\n"
+            "    import json, argparse\n"
+            "    p = argparse.ArgumentParser()\n"
+            "    p.add_argument('--json-out')\n"
+            "    p.add_argument('--quick', action='store_true')\n"
+            "    a = p.parse_args(argv)\n"
+            "    json.dump({}, open(a.json_out, 'w'))\n"
+            "    return 3\n"
+            "# --json-out\n"
+        )
+        with pytest.raises(SystemExit, match="exit 3"):
+            main(["bench", "--bench-dir", str(tmp_path),
+                  "--out-dir", str(tmp_path / "out")])
+
+    def test_committed_snapshots_are_current_schema(self):
+        """The repo-root BENCH_*.json snapshots stay loadable and
+        normalized (guards the committed perf history)."""
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        snapshots = sorted(root.glob("BENCH_*.json"))
+        assert snapshots, "committed BENCH_*.json snapshots are missing"
+        for path in snapshots:
+            data = json.loads(path.read_text())
+            assert data["schema_version"] == 1, path
+            assert data["baseline_op"]["seconds"] > 0, path
+            text = json.dumps(data)
+            assert "_vs_baseline" in text or '"vs_baseline"' in text, path

@@ -35,6 +35,7 @@ def _run(script: str, *args: str) -> subprocess.CompletedProcess:
             ("--ports", "6", "--horizon", "6"),
             "CSV trace replay",
         ),
+        ("service_client.py", (), "service drained and stopped"),
     ],
 )
 def test_example_runs(script, args, expect):

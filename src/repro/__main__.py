@@ -103,6 +103,8 @@ def _cmd_figures(args, which: str) -> int:
             cache_dir=args.cache_dir,
             resume=not args.no_cache,
             verify=args.verify,
+            batch_trials=args.batch_trials,
+            no_batch=args.no_batch,
         )
     except SweepInterrupted as exc:
         print(f"\ninterrupted: {exc}", file=sys.stderr)
@@ -691,6 +693,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--verify", action="store_true",
                        help="certify every trial through the repro.verify "
                             "checkers (fails fast on any violation)")
+        p.add_argument("--batch-trials", type=_positive_int, default=None,
+                       metavar="N",
+                       help="cap trials merged into one structure-of-arrays "
+                            "batch (default: each cell batched whole)")
+        p.add_argument("--no-batch", action="store_true",
+                       help="run trials one at a time instead of batched "
+                            "(results are identical either way)")
 
     p = sub.add_parser("solve-mrt",
                        help="offline Theorem 3 solver (alias of solve)")
@@ -805,6 +814,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--only", default=None, metavar="A,B,...",
                    help="run only these suites (names without the bench_ "
                         "prefix)")
+    p.add_argument("--check", action="store_true",
+                   help="re-run each suite and exit nonzero if any "
+                        "*_vs_baseline ratio regressed >20%% against the "
+                        "committed BENCH_*.json in --out-dir (the CI "
+                        "bench-gate; committed files are never rewritten)")
 
     return parser
 

@@ -41,7 +41,15 @@ from repro.api.registry import (
     unregister_solver,
 )
 from repro.api.report import SolveReport
-from repro.api.runner import Runner, TrialResult, WorkItem, run_trial
+from repro.api.runner import (
+    BatchWorkItem,
+    Runner,
+    TrialResult,
+    WorkItem,
+    plan_batches,
+    run_batch,
+    run_trial,
+)
 from repro.api.store import ResultStore, open_store
 
 # Importing the adapters registers every builtin.  Eager on purpose:
@@ -61,8 +69,11 @@ __all__ = [
     "list_solvers",
     "Runner",
     "WorkItem",
+    "BatchWorkItem",
     "TrialResult",
     "run_trial",
+    "run_batch",
+    "plan_batches",
     "ResultStore",
     "open_store",
     "Executor",

@@ -74,6 +74,19 @@ class SolverAdapter:
         report.timings.setdefault("total", time.perf_counter() - start)
         return report
 
+    def solve_batch(
+        self, instances: Sequence[Any], **params: Any
+    ) -> "list[SolveReport]":
+        """Solve a trial batch, one report per instance (input order).
+
+        The default is a per-instance loop; adapters with a vectorized
+        trial axis (:class:`PolicySolver`) override it with a merged
+        run.  Either way each report's stored form is the same as a solo
+        :meth:`solve` — wall-clock ``timings`` (stripped on store) are
+        the only always-divergent field.
+        """
+        return [self.solve(instance, **params) for instance in instances]
+
     def _solve(self, instance: Any, **params: Any) -> SolveReport:
         raise NotImplementedError
 
@@ -326,12 +339,43 @@ class PolicySolver(SolverAdapter):
             instance, make_policy(self.name), max_rounds=max_rounds,
             timer=timer,
         )
+        return self._report(sim, dict(timer.totals), max_rounds)
+
+    def solve_batch(
+        self, instances: Sequence[Instance], max_rounds: Optional[int] = None
+    ) -> "list[SolveReport]":
+        """Simulate a trial batch through the merged structure-of-arrays
+        engine (:func:`repro.online.batch.simulate_batch`).
+
+        Each returned report is byte-identical to its solo
+        :meth:`solve` — schedule, metrics, ``rounds``, ``peak_queue`` —
+        except that ``timings`` cover the merged run (stripped on store)
+        and a merged **MaxCard** run omits the pooled Hopcroft–Karp
+        ``bfs_phases``/``augmentations`` diagnostics from ``sim_stats``
+        (documented in :mod:`repro.online.batch`).
+        """
+        from repro.online.batch import simulate_batch
+        from repro.utils.timing import Timer
+
+        timer = Timer()
+        start = time.perf_counter()
+        sims = simulate_batch(
+            instances,
+            [make_policy(self.name) for _ in instances],
+            max_rounds=max_rounds,
+            timer=timer,
+        )
+        timings = dict(timer.totals)
+        timings["total"] = time.perf_counter() - start
+        return [self._report(sim, dict(timings), max_rounds) for sim in sims]
+
+    def _report(self, sim, timings, max_rounds) -> SolveReport:
         return SolveReport(
             solver=self.name,
             kind=self.kind,
             metrics=sim.metrics,
             schedule=sim.schedule,
-            timings=dict(timer.totals),
+            timings=timings,
             params={"max_rounds": max_rounds},
             extras={
                 "rounds": sim.rounds,

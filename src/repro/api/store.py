@@ -153,6 +153,10 @@ class ResultStore:
     ----------
     hits / misses:
         ``get`` outcome counters for diagnostics and tests.
+    appends:
+        Count of physical shard writes (each a single flushed
+        ``write()``); a :meth:`put_many` batch is one append however
+        many records it carries.
     """
 
     def __init__(self, cache_dir: "str | Path", read: bool = True):
@@ -161,6 +165,7 @@ class ResultStore:
         self.read_enabled = bool(read)
         self.hits = 0
         self.misses = 0
+        self.appends = 0
         self._index: Dict[str, dict] = {}
         self._offsets: Dict[str, int] = {}
         self._fh = None
@@ -247,19 +252,30 @@ class ResultStore:
             self.hits += 1
         return report
 
-    def put(
+    def _record_line(
         self, solver: str, instance_digest: str, params: dict, report: dict
-    ) -> None:
-        """Persist ``report`` (a ``SolveReport.to_dict()`` payload).
-
-        Dedup is by *content*: an identical record already present is not
-        re-appended (repeated ``--no-cache`` runs don't grow shards), but
-        a changed record for a known key — a recompute after a solver
-        change — is appended and wins on future loads (last writer wins).
-        """
+    ) -> Optional[str]:
+        """The shard line for this record, or ``None`` if the identical
+        record is already indexed (content dedup).  Updates the index,
+        so a duplicate later in the same :meth:`put_many` batch dedups
+        against the earlier one."""
         key = canonical_key(solver, instance_digest, params)
         if self._index.get(key) == report:
-            return
+            return None
+        self._index[key] = report
+        return json.dumps(
+            {
+                "key": key,
+                "solver": solver,
+                "instance": instance_digest,
+                "params": params,
+                "report": report,
+            },
+            sort_keys=True,
+        ) + "\n"
+
+    def _append(self, lines: "list[str]") -> None:
+        """One physical shard append (single flushed write) of ``lines``."""
         if self._fh is None:
             # The random token makes the shard name unique per store, so
             # no writer ever appends to (and mtime-bumps) a shard left by
@@ -270,19 +286,52 @@ class ResultStore:
                 / f"results-{os.getpid()}-{uuid.uuid4().hex[:8]}.jsonl"
             )
             self._fh = open(shard, "a", encoding="utf-8")
-        line = json.dumps(
-            {
-                "key": key,
-                "solver": solver,
-                "instance": instance_digest,
-                "params": params,
-                "report": report,
-            },
-            sort_keys=True,
-        )
-        self._fh.write(line + "\n")
+        self._fh.write("".join(lines))
         self._fh.flush()
-        self._index[key] = report
+        self.appends += 1
+
+    def put(
+        self, solver: str, instance_digest: str, params: dict, report: dict
+    ) -> None:
+        """Persist ``report`` (a ``SolveReport.to_dict()`` payload).
+
+        Dedup is by *content*: an identical record already present is not
+        re-appended (repeated ``--no-cache`` runs don't grow shards), but
+        a changed record for a known key — a recompute after a solver
+        change — is appended and wins on future loads (last writer wins).
+        """
+        line = self._record_line(solver, instance_digest, params, report)
+        if line is not None:
+            self._append([line])
+
+    def put_many(self, records) -> int:
+        """Persist many ``(solver, instance_digest, params, report)``
+        tuples as **one** physical shard append.
+
+        The bulk sibling of :meth:`put` with identical semantics per
+        record — content dedup, last-writer-wins on changed records —
+        but a batch (a cell's worth of trials) costs a single flushed
+        ``write()`` instead of one per record.  Returns the number of
+        records actually appended (duplicates are skipped).
+        """
+        lines = []
+        for solver, instance_digest, params, report in records:
+            line = self._record_line(solver, instance_digest, params, report)
+            if line is not None:
+                lines.append(line)
+        if lines:
+            self._append(lines)
+        return len(lines)
+
+    def get_many(self, requests) -> "list[Optional[dict]]":
+        """Bulk :meth:`get`: one stored report (or ``None``) per
+        ``(solver, instance_digest, params)`` request, in input order.
+        Hit/miss counters update per request, exactly as N ``get`` calls
+        would."""
+        return [
+            self.get(solver, instance_digest, params)
+            for solver, instance_digest, params in requests
+        ]
 
     def close(self) -> None:
         """Close this process's shard handle (records are already flushed)."""

@@ -29,12 +29,24 @@ from __future__ import annotations
 
 import importlib.util
 import json
+import tempfile
 import time
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 #: Envelope format stamp.
 SNAPSHOT_SCHEMA_VERSION = 1
+
+#: ``--check`` fails when a fresh ``*_vs_baseline`` ratio exceeds the
+#: committed one by more than this fraction.
+REGRESSION_THRESHOLD = 0.20
+
+#: Max fresh runs per suite in ``--check``.  A regression must survive
+#: every rerun (the per-ratio *minimum* of the fresh runs is compared,
+#: best-of-N being the standard way to time): one noisy scheduling
+#: hiccup in a millisecond-scale measurement cannot fail the gate, a
+#: real slowdown reproduces in all runs and still does.
+CHECK_RETRIES = 3
 
 #: Best-of repeats for the baseline op.
 BASELINE_REPEATS = 5
@@ -171,6 +183,140 @@ def run_suite(
     return out_path
 
 
+def collect_ratios(payload, prefix: str = "") -> Dict[str, float]:
+    """Every ``*_vs_baseline`` ratio in ``payload``, keyed by JSON path.
+
+    The comparison domain of ``--check``: paths are stable across runs
+    of the same suite (dict keys sorted, list positions indexed), so a
+    committed and a fresh snapshot line up field by field.
+    """
+    ratios: Dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            path = f"{prefix}.{key}" if prefix else key
+            value = payload[key]
+            if key == "vs_baseline" or key.endswith("_vs_baseline"):
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    ratios[path] = float(value)
+            else:
+                ratios.update(collect_ratios(value, path))
+    elif isinstance(payload, list):
+        for i, item in enumerate(payload):
+            ratios.update(collect_ratios(item, f"{prefix}[{i}]"))
+    return ratios
+
+
+def check_suite(
+    name: str,
+    path: Path,
+    committed_path: Path,
+    baseline_seconds: float,
+    threshold: float = REGRESSION_THRESHOLD,
+) -> Tuple[List[Tuple[str, float, float]], int]:
+    """Compare a fresh run of one suite against its committed snapshot.
+
+    The suite is re-run in the committed snapshot's own ``quick`` mode
+    into a temporary directory (the committed file is never touched);
+    every ``*_vs_baseline`` ratio present in both snapshots is compared.
+    A candidate regression must survive up to :data:`CHECK_RETRIES`
+    fresh runs — the per-ratio minimum across runs is what is compared,
+    so scheduling noise in millisecond-scale measurements cannot fail
+    the gate.  Returns ``(regressions, compared)`` where each regression
+    is ``(json_path, committed_ratio, fresh_ratio)`` with the fresh
+    ratio more than ``threshold`` above the committed one.
+    """
+    committed = json.loads(committed_path.read_text(encoding="utf-8"))
+    old = collect_ratios(committed.get("results", {}))
+    best: Dict[str, float] = {}
+    regressions: List[Tuple[str, float, float]] = []
+    shared: List[str] = []
+    for attempt in range(CHECK_RETRIES):
+        with tempfile.TemporaryDirectory() as tmp:
+            fresh_path = run_suite(
+                name,
+                path,
+                Path(tmp),
+                baseline_seconds,
+                quick=bool(committed.get("quick", True)),
+            )
+            fresh = json.loads(fresh_path.read_text(encoding="utf-8"))
+        new = collect_ratios(fresh.get("results", {}))
+        for ratio_path, value in new.items():
+            if ratio_path not in best or value < best[ratio_path]:
+                best[ratio_path] = value
+        shared = sorted(set(old) & set(best))
+        regressions = [
+            (ratio_path, old[ratio_path], best[ratio_path])
+            for ratio_path in shared
+            if old[ratio_path] > 0
+            and best[ratio_path] > old[ratio_path] * (1 + threshold)
+        ]
+        if not regressions:
+            break
+        if attempt < CHECK_RETRIES - 1:
+            print(
+                f"{len(regressions)} candidate regression(s); rerunning "
+                "to confirm"
+            )
+    return regressions, len(shared)
+
+
+def run_check(suites: Dict[str, Path], out_dir: Path) -> int:
+    """The ``--check`` regression gate over every committed snapshot.
+
+    Suites without a committed ``BENCH_<name>.json`` in ``out_dir`` are
+    skipped with a note (a brand-new suite must not fail the gate before
+    its first snapshot lands); with no committed snapshot at all there
+    is nothing to guard and that *is* an error.  Exit status 1 on any
+    ``*_vs_baseline`` regression beyond :data:`REGRESSION_THRESHOLD`.
+    """
+    to_check = {
+        name: (path, out_dir / f"BENCH_{name}.json")
+        for name, path in suites.items()
+        if (out_dir / f"BENCH_{name}.json").is_file()
+    }
+    if not to_check:
+        raise SystemExit(
+            f"error: no committed BENCH_*.json snapshots in {out_dir} to "
+            "check against; run `repro bench` and commit the snapshots first"
+        )
+    skipped = sorted(set(suites) - set(to_check))
+    for name in skipped:
+        print(f"note: suite {name!r} has no committed snapshot; skipped")
+    baseline_seconds = calibrate()
+    print(
+        f"baseline op: {baseline_seconds * 1e6:.0f} us "
+        f"({BASELINE_DESCRIPTION})"
+    )
+    failed = False
+    for name, (path, committed_path) in to_check.items():
+        print(f"\n=== check {name} ({committed_path.name}) ===")
+        try:
+            regressions, compared = check_suite(
+                name, path, committed_path, baseline_seconds
+            )
+        except RuntimeError as exc:
+            raise SystemExit(f"error: {exc}")
+        if regressions:
+            failed = True
+            for ratio_path, before, after in regressions:
+                print(
+                    f"REGRESSION {ratio_path}: {before:.4f} -> {after:.4f} "
+                    f"(+{(after / before - 1) * 100:.0f}%, limit "
+                    f"+{REGRESSION_THRESHOLD * 100:.0f}%)"
+                )
+        print(
+            f"{compared} ratio(s) compared, {len(regressions)} regression(s)"
+        )
+    if failed:
+        print("\nbench check FAILED — see regressions above")
+        return 1
+    print("\nbench check passed")
+    return 0
+
+
 def main(args) -> int:
     """``repro bench`` entry point (argparse namespace from __main__)."""
     bench_dir = Path(args.bench_dir)
@@ -193,6 +339,8 @@ def main(args) -> int:
             )
         suites = {name: suites[name] for name in selected}
     out_dir = Path(args.out_dir)
+    if getattr(args, "check", False):
+        return run_check(suites, out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
 
     baseline_seconds = calibrate()

@@ -110,6 +110,8 @@ def run_scenario_sweep(
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
     resume: bool = True,
+    batch_trials: Optional[int] = None,
+    no_batch: bool = False,
 ) -> Dict[str, CellResult]:
     """Sweep solvers over declarative *scenarios* instead of (M, T) cells.
 
@@ -117,8 +119,8 @@ def run_scenario_sweep(
     of ``scenarios`` (a :class:`repro.scenarios.ScenarioSpec` or its
     compact ``"name:k=v,..."`` text form) becomes one aggregated
     :class:`CellResult` over ``config.trials`` trials, keyed by the
-    spec's label.  Execution, parallelism, and result caching all reuse
-    :meth:`repro.api.runner.Runner.run_scenarios`.
+    spec's label.  Execution, parallelism, result caching, and trial
+    batching all reuse :meth:`repro.api.runner.Runner.run_scenarios`.
     """
     from repro.api.runner import Runner
 
@@ -129,6 +131,8 @@ def run_scenario_sweep(
         compute_lp_bounds=compute_lp_bounds,
         cache_dir=cache_dir,
         resume=resume,
+        batch_trials=batch_trials,
+        no_batch=no_batch,
     ).run_scenarios(scenarios, solvers=solvers, verbose=verbose)
 
 
@@ -141,6 +145,8 @@ def run_sweep(
     cache_dir: Optional[str] = None,
     resume: bool = True,
     verify: bool = False,
+    batch_trials: Optional[int] = None,
+    no_batch: bool = False,
 ) -> SweepResult:
     """Run the full Figure 6/7 sweep for ``config``.
 
@@ -163,6 +169,11 @@ def run_sweep(
     verify:
         Certify every trial through the :mod:`repro.verify` checkers
         (see :class:`repro.api.runner.Runner`).
+    batch_trials / no_batch:
+        Trial batching controls (see :class:`repro.api.runner.Runner`):
+        cells execute as structure-of-arrays batches by default,
+        byte-identical to the serial path; ``no_batch=True`` restores
+        the per-item loop.
     """
     from repro.api.runner import Runner
 
@@ -174,4 +185,6 @@ def run_sweep(
         cache_dir=cache_dir,
         resume=resume,
         verify=verify,
+        batch_trials=batch_trials,
+        no_batch=no_batch,
     ).run(verbose=verbose)

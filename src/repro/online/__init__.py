@@ -5,12 +5,20 @@
 * :mod:`repro.online.policies` — the MaxCard / MinRTime / MaxWeight
   heuristics plus a FIFO baseline and greedy packing for general
   capacities;
+* :mod:`repro.online.batch` — trial-batched simulation: a cell of N
+  trials executes as one structure-of-arrays merged run, byte-identical
+  to N solo runs;
 * :mod:`repro.online.amrt` — the batching online algorithm of Lemma 5.3
   (2-competitive for max response with doubled, augmented capacity);
 * :mod:`repro.online.lower_bounds` — the adversarial constructions of
   Figure 4 (Lemmas 5.1 and 5.2).
 """
 
+from repro.online.batch import (
+    BatchFlowQueue,
+    batch_kernel_name,
+    simulate_batch,
+)
 from repro.online.simulator import (
     FlowQueue,
     SimulationResult,
@@ -44,7 +52,10 @@ from repro.online.lower_bounds import (
 
 __all__ = [
     "simulate",
+    "simulate_batch",
     "simulate_stream",
+    "batch_kernel_name",
+    "BatchFlowQueue",
     "SimulationResult",
     "StreamSimulationResult",
     "FlowQueue",

@@ -1,0 +1,585 @@
+"""Trial-batched online simulation (structure-of-arrays sweeps).
+
+A Figure-6/7 cell averages N trials of the *same* (M, T) configuration;
+running them one :func:`~repro.online.simulator.simulate` call at a time
+pays the per-round python/numpy dispatch overhead N times.  This module
+executes a cell as **one** merged simulation via virtual-port stacking:
+
+* trial ``i``'s port ``p`` becomes virtual port ``i * m + p`` and its
+  flow ``f`` becomes global fid ``offset_i + f``, so the N disjoint
+  instances concatenate into a single instance-shaped view over a tiled
+  switch (``N*m`` ports, per-trial capacities repeated);
+* the existing :class:`~repro.online.simulator.FlowQueue` machinery and
+  policy fast paths then run unchanged on the merged arrays — one
+  ``argsort`` / ``bincount`` / matching solve per round covers every
+  trial at once;
+* because the virtual port sets are disjoint and every kernel breaks
+  ties by (stable) fid order, each trial's selections are **byte
+  identical** to its solo run: same assignments, same queue history,
+  same aggregate metrics.
+
+Batched fast paths exist for FIFO, Random, MaxCard (cold start) and the
+co-flow SEBF/CoflowFIFO orderings; every other policy — and any
+subclass, mixed-policy batch, or mismatched-switch cell — falls back to
+per-trial :func:`simulate` calls with identical results.
+
+Known, documented divergence: a batched **MaxCard** run reports exact
+per-trial ``sim_rounds`` / ``compactions`` / ``matching_solves`` but
+omits the pooled Hopcroft–Karp ``bfs_phases`` / ``augmentations``
+diagnostics (the stacked solve cannot attribute them per trial).
+Schedules and metrics remain byte-identical.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.coflow.policies import CoflowFifoPolicy, CoflowSebfPolicy
+from repro.core.instance import Instance
+from repro.core.metrics import ScheduleMetrics
+from repro.core.schedule import Schedule
+from repro.core.switch import Switch
+from repro.online.policies import (
+    FifoPolicy,
+    MaxCardPolicy,
+    OnlinePolicy,
+    RandomPolicy,
+)
+from repro.online.simulator import (
+    FlowQueue,
+    SimulationResult,
+    _check_feasible,
+    simulate,
+)
+
+
+class _BatchView:
+    """Instance-shaped view over N stacked trials.
+
+    Duck-types the :class:`~repro.core.instance.Instance` surface the
+    simulator and the policy fast paths consume (``num_flows``, the four
+    attribute vectors, ``.switch``): srcs/dsts are lifted to virtual
+    ports, the switch is the per-trial switch tiled N times.
+    """
+
+    __slots__ = (
+        "switch",
+        "num_flows",
+        "offsets",
+        "trial_of",
+        "m_in",
+        "m_out",
+        "n_trials",
+        "_srcs",
+        "_dsts",
+        "_demands",
+        "_releases",
+    )
+
+    def __init__(self, instances: Sequence[Instance]):
+        base = instances[0].switch
+        n = len(instances)
+        self.n_trials = n
+        self.m_in = base.num_inputs
+        self.m_out = base.num_outputs
+        self.switch = Switch(
+            base.num_inputs * n,
+            base.num_outputs * n,
+            np.tile(base.input_capacities, n),
+            np.tile(base.output_capacities, n),
+        )
+        counts = np.asarray([inst.num_flows for inst in instances], dtype=np.int64)
+        self.offsets = np.concatenate(
+            ([0], np.cumsum(counts))
+        ).astype(np.int64)
+        self.num_flows = int(self.offsets[-1])
+        self.trial_of = np.repeat(np.arange(n, dtype=np.int64), counts)
+        self._srcs = np.concatenate(
+            [inst.srcs() + i * self.m_in for i, inst in enumerate(instances)]
+        )
+        self._dsts = np.concatenate(
+            [inst.dsts() + i * self.m_out for i, inst in enumerate(instances)]
+        )
+        self._demands = np.concatenate([inst.demands() for inst in instances])
+        self._releases = np.concatenate([inst.releases() for inst in instances])
+
+    def srcs(self) -> np.ndarray:
+        return self._srcs
+
+    def dsts(self) -> np.ndarray:
+        return self._dsts
+
+    def demands(self) -> np.ndarray:
+        return self._demands
+
+    def releases(self) -> np.ndarray:
+        return self._releases
+
+
+class BatchFlowQueue(FlowQueue):
+    """:class:`FlowQueue` over a :class:`_BatchView`.
+
+    Only the pair-view *keying* changes: keyed naively by virtual ports
+    the heads array would be ``(N*m) x (N*m')`` — quadratic in the trial
+    count — but cross-trial pairs cannot exist, so keys are remapped to
+    the compact ``trial * m * m' + lsrc * m' + ldst`` space (linear in
+    N).  Adjacency rows stay indexed by virtual src port, exactly what
+    the stacked Hopcroft–Karp solve consumes.
+    """
+
+    __slots__ = ("_m_out",)
+
+    def __init__(self, view: _BatchView):
+        super().__init__(view)
+        self._m_out = view.m_out
+
+    def _pair_keys(self, n: int) -> List[int]:
+        # vsrc * m' + ldst == trial * m * m' + lsrc * m' + ldst: unique
+        # per (trial, lsrc, ldst), i.e. per realizable (vsrc, vdst) pair.
+        return (
+            self.srcs[:n] * self._m_out + self.dsts[:n] % self._m_out
+        ).tolist()
+
+    def _pair_key_count(self) -> int:
+        return self.n_inputs * self._m_out
+
+
+def _same_switch(a: Switch, b: Switch) -> bool:
+    return (
+        a.num_inputs == b.num_inputs
+        and a.num_outputs == b.num_outputs
+        and np.array_equal(a.input_capacities, b.input_capacities)
+        and np.array_equal(a.output_capacities, b.output_capacities)
+    )
+
+
+def batch_kernel_name(
+    instances: Sequence[Instance], policies: Sequence[OnlinePolicy]
+) -> Optional[str]:
+    """Which merged kernel (if any) a batch would run.
+
+    ``None`` means :func:`simulate_batch` will fall back to per-trial
+    :func:`simulate` calls: unbatchable policy (no kernel, subclass,
+    warm-started MaxCard), mixed policy types, mismatched switches, or a
+    batch too small to merge.  Exposed so tests and benchmarks can
+    assert which path a configuration takes.
+    """
+    if len(instances) < 2 or len(instances) != len(policies):
+        return None
+    cls = type(policies[0])
+    if any(type(p) is not cls for p in policies):
+        return None
+    switch = instances[0].switch
+    if any(not _same_switch(inst.switch, switch) for inst in instances[1:]):
+        return None
+    if cls is FifoPolicy:
+        return "fifo"
+    if cls is MaxCardPolicy:
+        if any(p.warm_start for p in policies):
+            return None
+        return "maxcard"
+    if cls is RandomPolicy:
+        return "random"
+    if cls in (CoflowSebfPolicy, CoflowFifoPolicy):
+        for policy, inst in zip(policies, instances):
+            cf = policy._cf
+            if cf.instance is not inst and cf.instance.digest() != inst.digest():
+                return None
+        return "coflow"
+    return None
+
+
+def _empty_result(instance: Instance) -> SimulationResult:
+    empty = Schedule(instance, np.zeros(0, dtype=np.int64))
+    return SimulationResult(
+        empty, ScheduleMetrics.of(empty), 0, np.zeros(0, dtype=np.int64)
+    )
+
+
+def _greedy_pack(
+    fids: np.ndarray,
+    order: np.ndarray,
+    queue: FlowQueue,
+    switch: Switch,
+    weights: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Greedy capacity packing in a precomputed order.
+
+    Mirrors ``OnlinePolicy._select_packing_fast`` (``weights`` given:
+    non-positive entries are skipped) and the co-flow ordered packing
+    (``weights=None``: every flow is a candidate).
+    """
+    srcs = queue.srcs[fids].tolist()
+    dsts = queue.dsts[fids].tolist()
+    demands = queue.demands[fids].tolist()
+    fid_list = fids.tolist()
+    w = weights.tolist() if weights is not None else None
+    in_res = switch.input_capacities.tolist()
+    out_res = switch.output_capacities.tolist()
+    chosen: List[int] = []
+    for idx in order.tolist():
+        if w is not None and w[idx] <= 0:
+            continue
+        s, d, dem = srcs[idx], dsts[idx], demands[idx]
+        if in_res[s] >= dem and out_res[d] >= dem:
+            in_res[s] -= dem
+            out_res[d] -= dem
+            chosen.append(fid_list[idx])
+    return np.asarray(chosen, dtype=np.int64)
+
+
+def _first_occurrence_mask(keys: np.ndarray, slot: np.ndarray) -> np.ndarray:
+    """Boolean mask selecting the first occurrence of each key, in order.
+
+    Sort-free: a *reversed* fancy assignment leaves each key's first
+    position in ``slot`` (duplicate scatter indices keep the last write,
+    and reversing makes the first occurrence the last write).  Only the
+    positions just written are read back, so the scratch buffer never
+    needs clearing between calls.
+    """
+    idx = np.arange(keys.size, dtype=np.int64)
+    slot[keys[::-1]] = idx[::-1]
+    return slot[keys] == idx
+
+
+def _vectorized_unit_pack(
+    cand: np.ndarray,
+    srcs: np.ndarray,
+    dsts: np.ndarray,
+    slot_in: np.ndarray,
+    slot_out: np.ndarray,
+) -> np.ndarray:
+    """Greedy unit-capacity packing of ``cand`` (in greedy order),
+    vectorized as parallel rounds.
+
+    Sequential greedy takes a flow iff no earlier-*taken* flow used one
+    of its ports — the greedy independent set of the port-conflict
+    graph.  Each round here takes every candidate that precedes all its
+    remaining conflicts (first in order on both its src and dst, via the
+    reversed-scatter trick of :func:`_first_occurrence_mask`), then
+    drops candidates whose ports the taken set consumed; by the standard
+    parallel-greedy-MIS argument the union over rounds equals the
+    sequential walk exactly.  Random instances converge in a handful of
+    rounds, so the per-flow python loop disappears.
+
+    ``slot_in``/``slot_out`` are reusable int64 scratch buffers of size
+    ``n_in``/``n_out``; stale contents are fine (see above).
+    """
+    parts: List[np.ndarray] = []
+    while cand.size:
+        s = srcs[cand]
+        d = dsts[cand]
+        idx = np.arange(cand.size, dtype=np.int64)
+        rev = idx[::-1]
+        slot_in[s[::-1]] = rev
+        slot_out[d[::-1]] = rev
+        take = (slot_in[s] == idx) & (slot_out[d] == idx)
+        parts.append(cand[take])
+        # Consume the taken ports in place; a candidate survives iff
+        # both its slots still hold a non-negative first-position.
+        slot_in[s[take]] = -1
+        slot_out[d[take]] = -1
+        cand = cand[(slot_in[s] >= 0) & (slot_out[d] >= 0)]
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(parts)
+
+
+def simulate_batch(
+    instances: Sequence[Instance],
+    policies: Sequence[OnlinePolicy],
+    max_rounds: Optional[int] = None,
+    timer=None,
+    verify: bool = False,
+) -> List[SimulationResult]:
+    """Run ``policies[i]`` over ``instances[i]`` for every trial.
+
+    The trial-axis sibling of :func:`~repro.online.simulator.simulate`:
+    when every trial runs the same batchable policy on the same switch,
+    the whole batch executes as one merged simulation (see the module
+    docstring); otherwise each trial falls back to a solo ``simulate``
+    call.  Either way the returned list is positionally aligned with
+    ``instances`` and each element is byte-identical (schedule, queue
+    history, metrics) to the corresponding solo run.
+
+    ``max_rounds``/``timer``/``verify`` behave as in :func:`simulate`;
+    timer events are per *merged* round, so timing totals differ from N
+    solo runs (timings are excluded from the equivalence contract).
+    """
+    if len(instances) != len(policies):
+        raise ValueError(
+            f"got {len(instances)} instances but {len(policies)} policies"
+        )
+    if not instances:
+        return []
+    kernel = batch_kernel_name(instances, policies)
+    live = [i for i in range(len(instances)) if instances[i].num_flows > 0]
+    if kernel is None or len(live) < 2:
+        return [
+            simulate(
+                inst, pol, max_rounds=max_rounds, timer=timer, verify=verify
+            )
+            for inst, pol in zip(instances, policies)
+        ]
+    results: List[Optional[SimulationResult]] = [None] * len(instances)
+    for i in range(len(instances)):
+        if instances[i].num_flows == 0:
+            results[i] = _empty_result(instances[i])
+    merged = _simulate_merged(
+        [instances[i] for i in live],
+        [policies[i] for i in live],
+        kernel,
+        max_rounds,
+        timer,
+    )
+    for i, result in zip(live, merged):
+        results[i] = result
+    if verify:
+        from repro.verify import check_online_run
+
+        for result in results:
+            if result.schedule.instance.num_flows:
+                check_online_run(result).raise_if_failed()
+    return results
+
+
+def _make_select(kernel, queue, view, instances, policies, timer, scratch):
+    """Build the per-round merged selection callable for ``kernel``."""
+    n_in = view.switch.num_inputs
+    n_out = view.switch.num_outputs
+    m_out = view.m_out
+    unit = queue.unit_capacity
+    slot_in = np.empty(n_in, dtype=np.int64)
+    slot_out = np.empty(n_out, dtype=np.int64)
+    slot_key = np.empty(n_in * m_out, dtype=np.int64)
+
+    if kernel == "fifo" and unit:
+        # FIFO's greedy order (descending age, stable) over the alive
+        # list *is* the alive list itself: it is kept sorted by
+        # (release, insertion).  Pair-dedup: only a pair's first copy
+        # can ever be taken (later copies share both ports with an
+        # earlier, still-waiting one), so keep exactly the first
+        # occurrence per pair key — no per-flow python at all.
+        def select_fifo(t: int) -> np.ndarray:
+            fids = queue.alive_fids()
+            keys = queue.srcs[fids] * m_out + queue.dsts[fids] % m_out
+            cand = fids[_first_occurrence_mask(keys, slot_key)]
+            return _vectorized_unit_pack(
+                cand, queue.srcs, queue.dsts, slot_in, slot_out
+            )
+
+        return select_fifo
+
+    if kernel in ("fifo", "maxcard"):
+        # These policies' fast paths are already pure functions of the
+        # queue arrays: run them directly on the merged queue.
+        driver = policies[0]
+        driver.bind_runtime(timer, scratch)
+        driver.reset(view)
+        return lambda t: driver.select_fast(t, queue, view)
+
+    trial_of = view.trial_of
+    if kernel == "random":
+        for policy, inst in zip(policies, instances):
+            policy.reset(inst)
+        rngs = [policy._rng for policy in policies]
+
+        def select_random(t: int) -> np.ndarray:
+            fids = queue.alive_fids()
+            trials = trial_of[fids]
+            w = np.empty(fids.size, dtype=np.float64)
+            order = np.argsort(trials, kind="stable")
+            uniq, starts = np.unique(trials[order], return_index=True)
+            ends = np.append(starts[1:], trials.size)
+            # One draw vector per trial with waiting flows, in that
+            # trial's arrival order — the exact shape and sequence its
+            # solo run consumes from the same seeded generator.
+            for u, s, e in zip(uniq.tolist(), starts.tolist(), ends.tolist()):
+                w[order[s:e]] = rngs[u].random(e - s) + 1e-9
+            pack_order = np.argsort(-w, kind="stable")
+            if not unit:
+                return _greedy_pack(fids, pack_order, queue, view.switch, w)
+            # Pair-dedup by weight: only the heaviest copy of a pair can
+            # be taken (earlier copies in weight order share its ports).
+            ordered = fids[pack_order]
+            keys = (
+                queue.srcs[ordered] * m_out + queue.dsts[ordered] % m_out
+            )
+            cand = ordered[_first_occurrence_mask(keys, slot_key)]
+            return _vectorized_unit_pack(
+                cand, queue.srcs, queue.dsts, slot_in, slot_out
+            )
+
+        return select_random
+
+    # kernel == "coflow"
+    cfs = [policy._cf for policy in policies]
+    ncf_off = np.concatenate(
+        ([0], np.cumsum([cf.num_coflows for cf in cfs]))
+    ).astype(np.int64)
+    ncf_total = int(ncf_off[-1])
+    vcid_of = np.concatenate(
+        [cf.coflow_of + off for cf, off in zip(cfs, ncf_off[:-1].tolist())]
+    )
+    m_in, m_out = view.m_in, view.m_out
+    in_caps = instances[0].switch.input_capacities
+    out_caps = instances[0].switch.output_capacities
+    sebf = type(policies[0]) is CoflowSebfPolicy
+    if not sebf:
+        static_prio = np.concatenate(
+            [cf.releases().astype(np.float64) for cf in cfs]
+        )
+
+    def select_coflow(t: int) -> np.ndarray:
+        fids = queue.alive_fids()
+        cids = vcid_of[fids]
+        if sebf:
+            demands = queue.demands[fids]
+            in_load = np.bincount(
+                cids * m_in + queue.srcs[fids] % m_in,
+                weights=demands,
+                minlength=ncf_total * m_in,
+            ).reshape(ncf_total, m_in)
+            out_load = np.bincount(
+                cids * m_out + queue.dsts[fids] % m_out,
+                weights=demands,
+                minlength=ncf_total * m_out,
+            ).reshape(ncf_total, m_out)
+            prio = np.maximum(
+                (in_load / in_caps).max(axis=1),
+                (out_load / out_caps).max(axis=1),
+            )
+        else:
+            prio = static_prio
+        order = np.lexsort((fids, cids, prio[cids]))
+        return _greedy_pack(fids, order, queue, view.switch)
+
+    return select_coflow
+
+
+def _simulate_merged(
+    instances: Sequence[Instance],
+    policies: Sequence[OnlinePolicy],
+    kernel: str,
+    max_rounds: Optional[int],
+    timer,
+) -> List[SimulationResult]:
+    """The merged lockstep engine (all trials non-empty, same switch)."""
+    n_trials = len(instances)
+    counts = np.asarray([inst.num_flows for inst in instances], dtype=np.int64)
+    total = int(counts.sum())
+    view = _BatchView(instances)
+    if max_rounds is None:
+        # Vectorized ``2 * horizon_bound() + 1`` per trial: every merged
+        # trial is non-empty, so reduceat segments are never empty and
+        # max_release is just the segment max of the stacked releases.
+        rel_max = np.maximum.reduceat(view.releases(), view.offsets[:-1])
+        caps = 2 * (rel_max + counts + 1) + 1
+    else:
+        caps = np.full(n_trials, max_rounds, dtype=np.int64)
+
+    queue = BatchFlowQueue(view)
+    trial_of = view.trial_of
+    scratch: Dict[str, int] = {}
+    select = _make_select(
+        kernel, queue, view, instances, policies, timer, scratch
+    )
+    track_solves = kernel == "maxcard" and queue.unit_capacity
+    policy_name = policies[0].name
+
+    releases = view.releases()
+    arrival_order = np.argsort(releases, kind="stable")
+    uniq_rounds, starts = np.unique(
+        releases[arrival_order], return_index=True
+    )
+    ends = np.append(starts[1:], total)
+    arrivals_at = {
+        int(r): arrival_order[s:e]
+        for r, s, e in zip(
+            uniq_rounds.tolist(), starts.tolist(), ends.tolist()
+        )
+    }
+
+    assignment = np.full(total, -1, dtype=np.int64)
+    # Shadow counters: exact per-trial mirrors of each solo FlowQueue's
+    # bookkeeping, maintained vectorized over the trial axis.
+    sh_pos = np.zeros(n_trials, dtype=np.int64)  # solo _n_pos
+    sh_alive = np.zeros(n_trials, dtype=np.int64)  # solo _n_alive
+    sh_comp = np.zeros(n_trials, dtype=np.int64)  # solo compactions
+    solves = np.zeros(n_trials, dtype=np.int64)
+    sched_per = np.zeros(n_trials, dtype=np.int64)
+    rounds_of = np.full(n_trials, -1, dtype=np.int64)
+    history_rows: List[np.ndarray] = []
+    scheduled_total = 0
+    t = 0
+    while scheduled_total < total:
+        overdue = (sched_per < counts) & (t >= caps)
+        if overdue.any():
+            i = int(np.flatnonzero(overdue)[0])
+            raise RuntimeError(
+                f"policy {policy_name} exceeded {int(caps[i])} rounds with "
+                f"{int(counts[i] - sched_per[i])} flows unscheduled"
+            )
+        round_start = time.perf_counter() if timer is not None else 0.0
+        arriving = arrivals_at.get(t)
+        if arriving is not None:
+            queue.arrive(arriving)
+            cnt = np.bincount(trial_of[arriving], minlength=n_trials)
+            sh_pos += cnt
+            sh_alive += cnt
+        history_rows.append(sh_alive.copy())
+        if track_solves:
+            # One cold Hopcroft–Karp solve per solo round with a
+            # non-empty queue.
+            solves += sh_alive > 0
+        if queue.n_alive:
+            chosen = select(t)
+            _check_feasible(chosen, queue, view.switch, policy_name, t)
+            if chosen.size:
+                assignment[chosen] = t
+                queue.remove(chosen)
+                scheduled_total += chosen.size
+                rcnt = np.bincount(trial_of[chosen], minlength=n_trials)
+                sched_per += rcnt
+                sh_alive -= rcnt
+                # Solo compaction trigger, checked only on rounds where
+                # that trial's remove() ran (rcnt > 0).
+                dead = sh_pos - sh_alive
+                compacted = (rcnt > 0) & (dead > 32) & (dead > sh_alive)
+                sh_comp += compacted
+                sh_pos[compacted] = sh_alive[compacted]
+                done = (sched_per == counts) & (rounds_of < 0)
+                if done.any():
+                    rounds_of[done] = t + 1
+        if timer is not None:
+            timer.add("sim_round", time.perf_counter() - round_start)
+        t += 1
+
+    history = np.stack(history_rows) if history_rows else np.zeros(
+        (0, n_trials), dtype=np.int64
+    )
+    offsets = view.offsets
+    results: List[SimulationResult] = []
+    for i in range(n_trials):
+        rounds_i = int(rounds_of[i])
+        sub = assignment[offsets[i] : offsets[i + 1]].copy()
+        schedule = Schedule(instances[i], sub)
+        stats: Dict[str, int] = {
+            "sim_rounds": rounds_i,
+            "compactions": int(sh_comp[i]),
+        }
+        if track_solves:
+            stats["matching_solves"] = int(solves[i])
+        results.append(
+            SimulationResult(
+                schedule,
+                ScheduleMetrics.of(schedule),
+                rounds=rounds_i,
+                queue_history=history[:rounds_i, i].copy(),
+                stats=stats,
+            )
+        )
+    return results

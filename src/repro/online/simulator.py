@@ -90,6 +90,8 @@ class FlowQueue:
         "_adj_key",
         "_key_mult",
         "_rel_list",
+        "_src_list",
+        "_dst_list",
         "_waiting_set",
         "_port_in",
         "_port_out",
@@ -119,6 +121,8 @@ class FlowQueue:
         self._adj_key: Optional[List[List[int]]] = None
         self._key_mult = max(n, 1)
         self._rel_list: Optional[List[int]] = None
+        self._src_list: Optional[List[int]] = None
+        self._dst_list: Optional[List[int]] = None
         self._waiting_set: Optional[set] = None
         self._port_in: Optional[np.ndarray] = None
         self._port_out: Optional[np.ndarray] = None
@@ -145,8 +149,8 @@ class FlowQueue:
             pairs, heads, keys = self._pairs, self._head_arr, self._keys
             adj_v, adj_f, adj_key = self._adj_v, self._adj_f, self._adj_key
             rel = self._rel_list
+            srcl, dstl = self._src_list, self._dst_list
             mult = self._key_mult
-            n_out = self.n_outputs
             fid_list = fids.tolist()
             self._waiting_set.update(fid_list)
             for fid in fid_list:
@@ -157,8 +161,8 @@ class FlowQueue:
                     heads[key] = fid
                     # A brand-new pair's head is this round's arrival, so
                     # it sorts after every existing head of the row.
-                    u = key // n_out
-                    adj_v[u].append(key % n_out)
+                    u = srcl[fid]
+                    adj_v[u].append(dstl[fid])
                     adj_f[u].append(fid)
                     adj_key[u].append(rel[fid] * mult + fid)
                 else:
@@ -188,8 +192,8 @@ class FlowQueue:
             alive.difference_update(fid_list)
             adj_v, adj_f, adj_key = self._adj_v, self._adj_f, self._adj_key
             rel = self._rel_list
+            srcl, dstl = self._src_list, self._dst_list
             mult = self._key_mult
-            n_out = self.n_outputs
             for fid in fid_list:
                 key = keys[fid]
                 if heads[key] != fid:
@@ -198,7 +202,7 @@ class FlowQueue:
                 dq.popleft()
                 while dq and dq[0] not in alive:
                     dq.popleft()
-                u = key // n_out
+                u = srcl[fid]
                 row_f = adj_f[u]
                 idx = row_f.index(fid)
                 del adj_v[u][idx]
@@ -212,7 +216,7 @@ class FlowQueue:
                     row_k = adj_key[u]
                     pos = bisect_left(row_k, k)
                     row_k.insert(pos, k)
-                    adj_v[u].insert(pos, key % n_out)
+                    adj_v[u].insert(pos, dstl[head])
                     row_f.insert(pos, head)
                 else:
                     heads[key] = -1
@@ -300,16 +304,28 @@ class FlowQueue:
         array here; the streaming subclass over-allocates and overrides)."""
         return self.srcs.shape[0]
 
+    def _pair_keys(self, n: int) -> List[int]:
+        """Dense (src, dst) pair key per fid.  Overridable: the batched
+        queue remaps virtual ports to a compact per-trial key space so the
+        heads array stays linear in the number of trials."""
+        return (self.srcs[:n] * self.n_outputs + self.dsts[:n]).tolist()
+
+    def _pair_key_count(self) -> int:
+        """Size of the pair-key space (length of the heads array)."""
+        return self.n_inputs * self.n_outputs
+
     def _init_pair_view(self) -> None:
         n = self._flow_count()
-        self._keys = (self.srcs[:n] * self.n_outputs + self.dsts[:n]).tolist()
+        self._keys = self._pair_keys(n)
         self._rel_list = self.releases[:n].tolist()
+        self._src_list = self.srcs[:n].tolist()
+        self._dst_list = self.dsts[:n].tolist()
         keys = self._keys
         rel = self._rel_list
+        srcl, dstl = self._src_list, self._dst_list
         mult = self._key_mult
-        n_out = self.n_outputs
         pairs: Dict[int, Deque[int]] = {}
-        heads = np.full(self.n_inputs * self.n_outputs, -1, dtype=np.int64)
+        heads = np.full(self._pair_key_count(), -1, dtype=np.int64)
         adj_v: List[List[int]] = [[] for _ in range(self.n_inputs)]
         adj_f: List[List[int]] = [[] for _ in range(self.n_inputs)]
         adj_key: List[List[int]] = [[] for _ in range(self.n_inputs)]
@@ -320,8 +336,8 @@ class FlowQueue:
             if dq is None:
                 pairs[key] = deque((fid,))
                 heads[key] = fid
-                u = key // n_out
-                adj_v[u].append(key % n_out)
+                u = srcl[fid]
+                adj_v[u].append(dstl[fid])
                 adj_f[u].append(fid)
                 adj_key[u].append(rel[fid] * mult + fid)
             else:
@@ -397,6 +413,8 @@ class StreamFlowQueue(FlowQueue):
         # (release, fid) ordering without rescaling as the window grows.
         self._key_mult = 1 << 62
         self._rel_list = None
+        self._src_list = None
+        self._dst_list = None
         self._waiting_set = None
         self._port_in = None
         self._port_out = None
@@ -446,6 +464,8 @@ class StreamFlowQueue(FlowQueue):
         if self._keys is not None:
             self._keys.extend((srcs * self.n_outputs + dsts).tolist())
             self._rel_list.extend([int(release)] * k)
+            self._src_list.extend(srcs.tolist())
+            self._dst_list.extend(dsts.tolist())
         if need > self.peak_buffer:
             self.peak_buffer = need
         return np.arange(lo, need, dtype=np.int64)
@@ -506,6 +526,8 @@ class StreamFlowQueue(FlowQueue):
         self._adj_f = None
         self._adj_key = None
         self._rel_list = None
+        self._src_list = None
+        self._dst_list = None
         self._waiting_set = None
         self._cache = None
 

@@ -172,6 +172,30 @@ class TestCommands:
         args = build_parser().parse_args(["fig7", "--quick", "--jobs", "2"])
         assert args.jobs == 2
 
+    def test_fig_batch_flags_parse(self):
+        args = build_parser().parse_args(
+            ["fig6", "--quick", "--batch-trials", "4"]
+        )
+        assert args.batch_trials == 4 and not args.no_batch
+        args = build_parser().parse_args(["fig7", "--quick", "--no-batch"])
+        assert args.no_batch and args.batch_trials is None
+
+    def test_fig_batch_trials_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["fig6", "--quick", "--batch-trials", "0"]
+            )
+
+    def test_fig6_no_batch_renders_identically(self, capsys):
+        assert main(["fig6", "--quick", "--no-lp"]) == 0
+        batched = capsys.readouterr().out
+        assert main(["fig6", "--quick", "--no-lp", "--no-batch"]) == 0
+        assert capsys.readouterr().out == batched
+        assert main(
+            ["fig6", "--quick", "--no-lp", "--batch-trials", "2"]
+        ) == 0
+        assert capsys.readouterr().out == batched
+
     def test_fig_cache_flags_parse(self):
         args = build_parser().parse_args(
             ["fig7", "--quick", "--cache-dir", "/tmp/c", "--resume"]
@@ -658,3 +682,147 @@ class TestBenchCommand:
             assert data["baseline_op"]["seconds"] > 0, path
             text = json.dumps(data)
             assert "_vs_baseline" in text or '"vs_baseline"' in text, path
+
+    def test_committed_sweep_snapshot_schema(self):
+        """BENCH_sweep.json carries the trial-batching acceptance data:
+        the Figure-6-shaped trials grid, byte-identity, the >= 5x
+        headline cell, and the honest 10x-roadmap report."""
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        data = json.loads((root / "BENCH_sweep.json").read_text())
+        assert data["suite"] == "sweep"
+        results = data["results"]
+        cells = results["cells"]
+        fifo_third = [
+            c
+            for c in cells.values()
+            if c["policy"] == "FIFO" and abs(c["load"] - 1 / 3) < 1e-3
+        ]
+        assert sorted(c["trials"] for c in fifo_third) == [8, 32, 128]
+        for cell in cells.values():
+            assert cell["byte_identical"] is True
+            assert cell["serial_vs_baseline"] > 0
+            assert cell["batched_vs_baseline"] > 0
+        headline = results["headline"]
+        assert headline["target"] == 5.0
+        assert headline["meets_target"] is True
+        assert cells[headline["cell"]]["speedup"] >= 5.0
+        roadmap = results["roadmap_10x"]
+        assert roadmap["target"] == 10.0
+        assert isinstance(roadmap["met"], bool)
+        assert roadmap["best_speedup"] >= 5.0
+
+
+def _write_factor_suite(bench_dir, factor_path):
+    """A toy suite whose measured 'seconds' is read from a control file,
+    so --check regressions can be staged deterministically."""
+    bench_dir.mkdir(parents=True, exist_ok=True)
+    (bench_dir / "bench_toy.py").write_text(
+        "import argparse, json\n"
+        "def main(argv=None):\n"
+        "    p = argparse.ArgumentParser()\n"
+        "    p.add_argument('--json-out')\n"
+        "    p.add_argument('--quick', action='store_true')\n"
+        "    a = p.parse_args(argv)\n"
+        f"    factor = float(open({str(factor_path)!r}).read())\n"
+        "    payload = {'op': {'seconds': 0.002 * factor}}\n"
+        "    json.dump(payload, open(a.json_out, 'w'))\n"
+        "    return 0\n"
+        "# --json-out\n"
+    )
+
+
+class TestBenchCheck:
+    def test_check_passes_then_flags_regression(self, tmp_path, capsys):
+        factor = tmp_path / "factor.txt"
+        factor.write_text("1.0")
+        bench_dir = tmp_path / "benchmarks"
+        _write_factor_suite(bench_dir, factor)
+        out_dir = tmp_path / "out"
+        base = ["bench", "--bench-dir", str(bench_dir),
+                "--out-dir", str(out_dir)]
+        assert main(base) == 0
+        committed = (out_dir / "BENCH_toy.json").read_text()
+        capsys.readouterr()
+
+        assert main(base + ["--check"]) == 0
+        assert "bench check passed" in capsys.readouterr().out
+
+        factor.write_text("10.0")  # 10x slower than the committed ratio
+        assert main(base + ["--check"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "bench check FAILED" in out
+        # The committed snapshot is never rewritten by --check.
+        assert (out_dir / "BENCH_toy.json").read_text() == committed
+        assert not list(out_dir.glob(".bench-raw-*"))
+
+    def test_check_skips_suite_without_snapshot(self, tmp_path, capsys):
+        factor = tmp_path / "factor.txt"
+        factor.write_text("1.0")
+        bench_dir = tmp_path / "benchmarks"
+        _write_factor_suite(bench_dir, factor)
+        out_dir = tmp_path / "out"
+        base = ["bench", "--bench-dir", str(bench_dir),
+                "--out-dir", str(out_dir)]
+        assert main(base) == 0
+        # A second, never-snapshotted suite must not fail the gate.
+        (bench_dir / "bench_new.py").write_text(
+            (bench_dir / "bench_toy.py").read_text()
+        )
+        capsys.readouterr()
+        assert main(base + ["--check"]) == 0
+        out = capsys.readouterr().out
+        assert "'new' has no committed snapshot; skipped" in out
+
+    def test_check_without_any_snapshot_errors(self, tmp_path):
+        factor = tmp_path / "factor.txt"
+        factor.write_text("1.0")
+        bench_dir = tmp_path / "benchmarks"
+        _write_factor_suite(bench_dir, factor)
+        with pytest.raises(SystemExit, match="no committed BENCH"):
+            main(["bench", "--bench-dir", str(bench_dir),
+                  "--out-dir", str(tmp_path / "empty"), "--check"])
+
+    def test_check_reruns_in_committed_quick_mode(self, tmp_path, capsys):
+        """--check must re-run each suite in its committed snapshot's own
+        quick mode, not the flag's — else full-mode snapshots would be
+        compared against quick-mode reruns."""
+        factor = tmp_path / "factor.txt"
+        factor.write_text("1.0")
+        bench_dir = tmp_path / "benchmarks"
+        bench_dir.mkdir()
+        # Marker suite: quick mode would write a wildly different value.
+        (bench_dir / "bench_modal.py").write_text(
+            "import argparse, json\n"
+            "def main(argv=None):\n"
+            "    p = argparse.ArgumentParser()\n"
+            "    p.add_argument('--json-out')\n"
+            "    p.add_argument('--quick', action='store_true')\n"
+            "    a = p.parse_args(argv)\n"
+            "    s = 0.1 if a.quick else 0.002\n"
+            "    json.dump({'op': {'seconds': s}}, open(a.json_out, 'w'))\n"
+            "    return 0\n"
+            "# --json-out\n"
+        )
+        out_dir = tmp_path / "out"
+        base = ["bench", "--bench-dir", str(bench_dir),
+                "--out-dir", str(out_dir)]
+        assert main(base) == 0  # committed in full mode
+        capsys.readouterr()
+        # Passing --quick alongside --check must not flip the rerun mode.
+        assert main(base + ["--check", "--quick"]) == 0
+        assert "bench check passed" in capsys.readouterr().out
+
+    def test_collect_ratios_paths(self):
+        from repro.bench import collect_ratios
+
+        payload = {
+            "a": {"x_vs_baseline": 2.0, "x_seconds": 0.1},
+            "list": [{"vs_baseline": 1.5}, {"other": True}],
+            "skip": {"vs_baseline": "not-a-number"},
+        }
+        assert collect_ratios(payload) == {
+            "a.x_vs_baseline": 2.0,
+            "list[0].vs_baseline": 1.5,
+        }

@@ -348,11 +348,11 @@ class PolicySolver(SolverAdapter):
         engine (:func:`repro.online.batch.simulate_batch`).
 
         Each returned report is byte-identical to its solo
-        :meth:`solve` — schedule, metrics, ``rounds``, ``peak_queue`` —
-        except that ``timings`` cover the merged run (stripped on store)
-        and a merged **MaxCard** run omits the pooled Hopcroft–Karp
-        ``bfs_phases``/``augmentations`` diagnostics from ``sim_stats``
-        (documented in :mod:`repro.online.batch`).
+        :meth:`solve` — schedule, metrics, ``rounds``, ``peak_queue``,
+        and ``sim_stats`` (the trials-axis batched Hopcroft–Karp
+        attributes ``bfs_phases``/``augmentations``/``warm_start_seeds``
+        per trial exactly) — except that ``timings`` cover the merged
+        run (stripped on store).
         """
         from repro.online.batch import simulate_batch
         from repro.utils.timing import Timer

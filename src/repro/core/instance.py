@@ -57,6 +57,101 @@ class Instance:
             numbered.append(flow.with_fid(i))
         return Instance(switch, tuple(numbered))
 
+    @staticmethod
+    def from_arrays(
+        switch: Switch,
+        srcs: np.ndarray,
+        dsts: np.ndarray,
+        demands: np.ndarray,
+        releases: np.ndarray,
+    ) -> "Instance":
+        """Vectorized :meth:`create` from flow attribute arrays.
+
+        Produces an instance *equal* to ``create(switch, [Flow(s, d,
+        dem, r) for ...])`` — same flows, same fids, same digest — but
+        validates the whole batch with array comparisons and skips the
+        per-flow constructor/validator round trips, which dominate
+        generation cost for large synthetic workloads.  The attribute
+        arrays also seed the instance's vector cache directly.
+        """
+        srcs = np.ascontiguousarray(srcs, dtype=np.int64)
+        dsts = np.ascontiguousarray(dsts, dtype=np.int64)
+        demands = np.ascontiguousarray(demands, dtype=np.int64)
+        releases = np.ascontiguousarray(releases, dtype=np.int64)
+        n = srcs.size
+        if not (dsts.size == demands.size == releases.size == n):
+            raise ValueError("flow attribute arrays must have equal length")
+        if n:
+            # Same failure messages (and per-flow check order) as
+            # Flow.__post_init__ / create(); first offender wins.
+            bad = np.flatnonzero(
+                (srcs < 0) | (dsts < 0) | (demands < 1) | (releases < 0)
+            )
+            if bad.size:
+                i = int(bad[0])
+                if srcs[i] < 0:
+                    raise ValueError(f"src must be >= 0, got {int(srcs[i])}")
+                if dsts[i] < 0:
+                    raise ValueError(f"dst must be >= 0, got {int(dsts[i])}")
+                if demands[i] < 1:
+                    raise ValueError(
+                        f"demand must be >= 1, got {int(demands[i])}"
+                    )
+                raise ValueError(
+                    f"release must be >= 0, got {int(releases[i])}"
+                )
+            bad = np.flatnonzero(srcs >= switch.num_inputs)
+            if bad.size:
+                i = int(bad[0])
+                raise ValueError(
+                    f"flow {i}: src port {int(srcs[i])} out of range "
+                    f"(switch has {switch.num_inputs} inputs)"
+                )
+            bad = np.flatnonzero(dsts >= switch.num_outputs)
+            if bad.size:
+                i = int(bad[0])
+                raise ValueError(
+                    f"flow {i}: dst port {int(dsts[i])} out of range "
+                    f"(switch has {switch.num_outputs} outputs)"
+                )
+            kappa = np.minimum(
+                switch.input_capacities[srcs], switch.output_capacities[dsts]
+            )
+            bad = np.flatnonzero(demands > kappa)
+            if bad.size:
+                i = int(bad[0])
+                raise ValueError(
+                    f"flow {i}: demand {int(demands[i])} exceeds kappa_e = "
+                    f"min(c_{int(srcs[i])}, c_{int(dsts[i])}) = "
+                    f"{int(kappa[i])}"
+                )
+        # Validation is done, so bypass Flow.__init__/__post_init__ (the
+        # per-flow python cost this constructor exists to avoid).  Flow
+        # has no __slots__; a plain __dict__ swap builds a field-complete
+        # frozen instance.  tolist() gives python ints, keeping to_dict()
+        # (and therefore the digest) byte-identical to create().
+        flows = []
+        new = object.__new__
+        for i, (s, d, dem, r) in enumerate(
+            zip(
+                srcs.tolist(),
+                dsts.tolist(),
+                demands.tolist(),
+                releases.tolist(),
+            )
+        ):
+            f = new(Flow)
+            f.__dict__.update(
+                src=s, dst=d, demand=dem, release=r, fid=i
+            )
+            flows.append(f)
+        instance = Instance(switch, tuple(flows))
+        cache = (srcs, dsts, demands, releases)
+        for arr in cache:
+            arr.flags.writeable = False
+        object.__setattr__(instance, "_vector_cache", cache)
+        return instance
+
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------

@@ -23,6 +23,14 @@ the warm replacement:
   work.  :func:`cache_stats` / :func:`clear_bound_caches` expose and
   reset the memo.
 
+The solves themselves go through :func:`repro.lp.solver.solve_lp` with
+``backend="auto"``, which dispatches to the sparse SciPy HiGHS backend
+(the hand-rolled dense tableau simplex remains only as the
+small-instance fallback/teaching backend) — so per-solve cost is no
+longer the bottleneck here.  The remaining headroom is *reuse across
+solves*: warm-starting HiGHS / basis reuse across the ρ binary search,
+since successive oracle queries differ only in variable bounds.
+
 Cross-*process* reuse (resumable sweeps) is layered on top by the
 content-addressed result store in :mod:`repro.api.store`.
 """

@@ -6,6 +6,9 @@ from scratch:
 * :mod:`repro.matching.bipartite` — bipartite (multi)graph container;
 * :mod:`repro.matching.hopcroft_karp` — maximum-cardinality matching
   (used by the MaxCard heuristic and by König edge coloring);
+* :mod:`repro.matching.batch_hk` — trials-axis batched Hopcroft–Karp
+  over stacked block-diagonal graphs (used by the trial-batched online
+  engine);
 * :mod:`repro.matching.weight_matching` — maximum-weight bipartite
   matching via shortest augmenting paths with potentials (used by the
   MinRTime and MaxWeight heuristics);
@@ -23,6 +26,7 @@ from repro.matching.hopcroft_karp import (
     max_cardinality_matching_adjacency,
     max_cardinality_matching_arrays,
 )
+from repro.matching.batch_hk import max_cardinality_matching_batch
 from repro.matching.weight_matching import max_weight_matching
 from repro.matching.edge_coloring import edge_color_bipartite
 from repro.matching.bvn import decompose_into_matchings
@@ -42,6 +46,7 @@ __all__ = [
     "max_cardinality_matching",
     "max_cardinality_matching_adjacency",
     "max_cardinality_matching_arrays",
+    "max_cardinality_matching_batch",
     "max_weight_matching",
     "edge_color_bipartite",
     "decompose_into_matchings",

@@ -9,30 +9,44 @@ executes a cell as **one** merged simulation via virtual-port stacking:
   flow ``f`` becomes global fid ``offset_i + f``, so the N disjoint
   instances concatenate into a single instance-shaped view over a tiled
   switch (``N*m`` ports, per-trial capacities repeated);
-* the existing :class:`~repro.online.simulator.FlowQueue` machinery and
-  policy fast paths then run unchanged on the merged arrays — one
-  ``argsort`` / ``bincount`` / matching solve per round covers every
-  trial at once;
+* every per-round kernel — pair dedup, greedy packing, and the
+  Hopcroft–Karp matching itself (:func:`~repro.matching.batch_hk.
+  max_cardinality_matching_batch`, which exploits the block-diagonal
+  structure with per-trial frontier masks) — runs vectorized over the
+  merged arrays, one pass per round covering every trial at once;
 * because the virtual port sets are disjoint and every kernel breaks
   ties by (stable) fid order, each trial's selections are **byte
   identical** to its solo run: same assignments, same queue history,
-  same aggregate metrics.
+  same aggregate metrics, same per-trial stats counters (including the
+  Hopcroft–Karp ``bfs_phases`` / ``augmentations`` / ``matching_solves``
+  diagnostics, which the stacked solve attributes per trial).
 
-Batched fast paths exist for FIFO, Random, MaxCard (cold start) and the
-co-flow SEBF/CoflowFIFO orderings; every other policy — and any
-subclass, mixed-policy batch, or mismatched-switch cell — falls back to
-per-trial :func:`simulate` calls with identical results.
+Batched fast paths exist for FIFO, Random, MaxCard (cold or warm start,
+uniform across the batch) and the co-flow SEBF/CoflowFIFO orderings on
+any switch, plus MinRTime/MaxWeight on non-unit switches (their unit
+path is a per-trial Hungarian solve whose merged tie-breaking is not
+guaranteed to project per trial, so it stays on the fallback).  Every
+other policy — and any subclass, mixed-policy batch, or
+mismatched-switch cell — falls back to per-trial :func:`simulate` calls
+with identical results.
 
-Known, documented divergence: a batched **MaxCard** run reports exact
-per-trial ``sim_rounds`` / ``compactions`` / ``matching_solves`` but
-omits the pooled Hopcroft–Karp ``bfs_phases`` / ``augmentations``
-diagnostics (the stacked solve cannot attribute them per trial).
-Schedules and metrics remain byte-identical.
+When capacities bind (load >= 1, non-unit demands), selection goes
+through :func:`_vectorized_capacitated_pack`: greedy residual-capacity
+packing reformulated as parallel rounds of segmented prefix sums over
+the candidate order, so high-load cells stay off per-flow python loops.
+
+When a :class:`~repro.utils.timing.Timer` is passed, the engine emits
+per-phase events alongside ``sim_round``: ``batch_select`` (whole-round
+selection), ``batch_match`` (the stacked Hopcroft–Karp solve) and
+``batch_pack`` (vectorized packing kernels); batched *generation* is
+timed by the runner as ``batch_generate``.  Timings are excluded from
+the equivalence contract.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -42,9 +56,12 @@ from repro.core.instance import Instance
 from repro.core.metrics import ScheduleMetrics
 from repro.core.schedule import Schedule
 from repro.core.switch import Switch
+from repro.matching.batch_hk import max_cardinality_matching_batch
 from repro.online.policies import (
     FifoPolicy,
     MaxCardPolicy,
+    MaxWeightPolicy,
+    MinRTimePolicy,
     OnlinePolicy,
     RandomPolicy,
 )
@@ -126,8 +143,10 @@ class BatchFlowQueue(FlowQueue):
     the heads array would be ``(N*m) x (N*m')`` — quadratic in the trial
     count — but cross-trial pairs cannot exist, so keys are remapped to
     the compact ``trial * m * m' + lsrc * m' + ldst`` space (linear in
-    N).  Adjacency rows stay indexed by virtual src port, exactly what
-    the stacked Hopcroft–Karp solve consumes.
+    N).  The batched kernels never *initialize* the pair view (they
+    derive heads per round from the alive list), so ``arrive``/
+    ``remove`` stay pure array operations; the keying matters only if a
+    caller asks for the incremental view explicitly.
     """
 
     __slots__ = ("_m_out",)
@@ -148,6 +167,10 @@ class BatchFlowQueue(FlowQueue):
 
 
 def _same_switch(a: Switch, b: Switch) -> bool:
+    if a is b:
+        # Cells generated through the amortized batch path share one
+        # switch object, skipping the per-trial capacity comparisons.
+        return True
     return (
         a.num_inputs == b.num_inputs
         and a.num_outputs == b.num_outputs
@@ -163,9 +186,10 @@ def batch_kernel_name(
 
     ``None`` means :func:`simulate_batch` will fall back to per-trial
     :func:`simulate` calls: unbatchable policy (no kernel, subclass,
-    warm-started MaxCard), mixed policy types, mismatched switches, or a
-    batch too small to merge.  Exposed so tests and benchmarks can
-    assert which path a configuration takes.
+    MaxCard with *mixed* warm-start flags, unit-capacity MinRTime/
+    MaxWeight), mixed policy types, mismatched switches, or a batch too
+    small to merge.  Exposed so tests and benchmarks can assert which
+    path a configuration takes.
     """
     if len(instances) < 2 or len(instances) != len(policies):
         return None
@@ -178,9 +202,18 @@ def batch_kernel_name(
     if cls is FifoPolicy:
         return "fifo"
     if cls is MaxCardPolicy:
-        if any(p.warm_start for p in policies):
+        # Warm starts batch fine (the stacked solve seeds per trial),
+        # but only when the whole batch agrees on the mode.
+        warm = policies[0].warm_start
+        if any(p.warm_start != warm for p in policies[1:]):
             return None
         return "maxcard"
+    if cls is MinRTimePolicy:
+        # Unit capacity runs a per-trial Hungarian solve whose merged
+        # tie-breaking is not guaranteed to project per trial.
+        return None if switch.is_unit_capacity else "minrtime"
+    if cls is MaxWeightPolicy:
+        return None if switch.is_unit_capacity else "maxweight"
     if cls is RandomPolicy:
         return "random"
     if cls in (CoflowSebfPolicy, CoflowFifoPolicy):
@@ -199,36 +232,8 @@ def _empty_result(instance: Instance) -> SimulationResult:
     )
 
 
-def _greedy_pack(
-    fids: np.ndarray,
-    order: np.ndarray,
-    queue: FlowQueue,
-    switch: Switch,
-    weights: Optional[np.ndarray] = None,
-) -> np.ndarray:
-    """Greedy capacity packing in a precomputed order.
-
-    Mirrors ``OnlinePolicy._select_packing_fast`` (``weights`` given:
-    non-positive entries are skipped) and the co-flow ordered packing
-    (``weights=None``: every flow is a candidate).
-    """
-    srcs = queue.srcs[fids].tolist()
-    dsts = queue.dsts[fids].tolist()
-    demands = queue.demands[fids].tolist()
-    fid_list = fids.tolist()
-    w = weights.tolist() if weights is not None else None
-    in_res = switch.input_capacities.tolist()
-    out_res = switch.output_capacities.tolist()
-    chosen: List[int] = []
-    for idx in order.tolist():
-        if w is not None and w[idx] <= 0:
-            continue
-        s, d, dem = srcs[idx], dsts[idx], demands[idx]
-        if in_res[s] >= dem and out_res[d] >= dem:
-            in_res[s] -= dem
-            out_res[d] -= dem
-            chosen.append(fid_list[idx])
-    return np.asarray(chosen, dtype=np.int64)
+def _measure(timer, name: str):
+    return timer.measure(name) if timer is not None else nullcontext()
 
 
 def _first_occurrence_mask(keys: np.ndarray, slot: np.ndarray) -> np.ndarray:
@@ -288,6 +293,136 @@ def _vectorized_unit_pack(
     return np.concatenate(parts)
 
 
+def _check_feasible_fast(
+    chosen: np.ndarray,
+    queue: "BatchFlowQueue",
+    switch: Switch,
+    policy_name: str,
+    t: int,
+    slot_in: np.ndarray,
+    slot_out: np.ndarray,
+) -> None:
+    """Happy-path feasibility check for the merged engine.
+
+    A unit-capacity selection is feasible iff every chosen flow is
+    waiting and no two share a port — verified with two scratch
+    scatters over the selection instead of the solo checker's
+    full-switch-width bincounts (the merged switch has ``T * m``
+    virtual ports, so those dominate small rounds).  Any failure
+    re-runs the exact solo checker, so violation reports stay
+    byte-identical.
+    """
+    k = chosen.size
+    if k == 0:
+        return
+    if not queue.unit_capacity:
+        _check_feasible(chosen, queue, switch, policy_name, t)
+        return
+    ok = int(chosen.min()) >= 0 and int(chosen.max()) < queue.srcs.shape[0]
+    if ok:
+        s = queue.srcs[chosen]
+        d = queue.dsts[chosen]
+        idx = np.arange(k, dtype=np.int64)
+        slot_in[s] = idx
+        slot_out[d] = idx
+        # Each position reads back its own index iff its port was not
+        # claimed twice (duplicate scatters keep only the last write).
+        ok = (
+            bool((slot_in[s] == idx).all())
+            and bool((slot_out[d] == idx).all())
+            and bool(queue.waiting_mask(chosen).all())
+        )
+    if not ok:
+        _check_feasible(chosen, queue, switch, policy_name, t)
+
+
+def _pack_side(
+    ports: np.ndarray,
+    dem: np.ndarray,
+    taken: np.ndarray,
+    caps: np.ndarray,
+):
+    """Per-candidate take/eliminate predicates for one port side.
+
+    Over the still-live candidates (``taken`` or undecided, in greedy
+    order) compute, per candidate ``c`` on port ``p``, via one stable
+    sort by port and segmented cumulative sums:
+
+    * ``P_all(c)``  — inclusive prefix demand of *all* live candidates
+      on ``p`` up to and including ``c``;
+    * ``P_tk(c)``   — exclusive prefix demand of *confirmed-taken*
+      candidates on ``p`` before ``c``.
+
+    ``ok = P_all(c) <= cap_p`` certifies the sequential greedy takes
+    ``c`` on this side (even if every live predecessor is eventually
+    taken, capacity suffices); ``bad = dem_c > cap_p - P_tk(c)``
+    certifies it skips ``c`` (already-confirmed predecessors alone
+    exhaust the residual).  The two can never both hold.
+    """
+    order = np.argsort(ports, kind="stable")
+    p = ports[order]
+    dd = dem[order]
+    tk_dd = np.where(taken[order], dd, 0)
+    cum_all = np.cumsum(dd)
+    cum_tk = np.cumsum(tk_dd)
+    seg = np.flatnonzero(np.r_[True, p[1:] != p[:-1]])
+    lens = np.diff(np.r_[seg, p.size])
+    base_all = np.repeat(np.r_[0, cum_all[seg[1:] - 1]], lens)
+    base_tk = np.repeat(np.r_[0, cum_tk[seg[1:] - 1]], lens)
+    cap = caps[p]
+    ok = cum_all - base_all <= cap
+    bad = dd > cap - (cum_tk - base_tk - tk_dd)
+    ok_out = np.empty(p.size, dtype=bool)
+    bad_out = np.empty(p.size, dtype=bool)
+    ok_out[order] = ok
+    bad_out[order] = bad
+    return ok_out, bad_out
+
+
+def _vectorized_capacitated_pack(
+    cand: np.ndarray,
+    queue: FlowQueue,
+    switch: Switch,
+) -> np.ndarray:
+    """Greedy residual-capacity packing of ``cand`` (in greedy order),
+    vectorized as parallel rounds of segmented prefix sums.
+
+    Byte-identical to the sequential walk of
+    ``OnlinePolicy._select_packing_fast`` / the co-flow ordered packing:
+    take a candidate iff both its ports still hold its demand at its
+    turn.  Each round classifies every undecided candidate through
+    :func:`_pack_side`: *taken* when even the most pessimistic prefix
+    fits on both sides, *eliminated* when confirmed takes alone already
+    overflow either side.  The first undecided candidate always
+    satisfies one of the two (its live predecessors are all confirmed),
+    so every round makes progress and the loop terminates; because
+    takes/eliminations are exactly sequential-greedy takes/skips, the
+    fixed point equals the sequential result.
+
+    High-load cells (capacities binding every round) converge in a few
+    rounds, replacing the per-flow python loop that previously made
+    capacitated batches fall back to serial-speed selection.
+    """
+    s = queue.srcs[cand]
+    d = queue.dsts[cand]
+    dem = queue.demands[cand]
+    in_caps = switch.input_capacities
+    out_caps = switch.output_capacities
+    n = cand.size
+    taken = np.zeros(n, dtype=bool)
+    undecided = np.ones(n, dtype=bool)
+    while undecided.any():
+        act = np.flatnonzero(taken | undecided)
+        ok_in, bad_in = _pack_side(s[act], dem[act], taken[act], in_caps)
+        ok_out, bad_out = _pack_side(d[act], dem[act], taken[act], out_caps)
+        und = undecided[act]
+        take = und & ok_in & ok_out
+        drop = und & (bad_in | bad_out)
+        taken[act[take]] = True
+        undecided[act[take | drop]] = False
+    return cand[taken]
+
+
 def simulate_batch(
     instances: Sequence[Instance],
     policies: Sequence[OnlinePolicy],
@@ -303,7 +438,7 @@ def simulate_batch(
     docstring); otherwise each trial falls back to a solo ``simulate``
     call.  Either way the returned list is positionally aligned with
     ``instances`` and each element is byte-identical (schedule, queue
-    history, metrics) to the corresponding solo run.
+    history, metrics, stats) to the corresponding solo run.
 
     ``max_rounds``/``timer``/``verify`` behave as in :func:`simulate`;
     timer events are per *merged* round, so timing totals differ from N
@@ -346,12 +481,14 @@ def simulate_batch(
     return results
 
 
-def _make_select(kernel, queue, view, instances, policies, timer, scratch):
+def _make_select(kernel, queue, view, instances, policies, timer, hk_stats):
     """Build the per-round merged selection callable for ``kernel``."""
     n_in = view.switch.num_inputs
     n_out = view.switch.num_outputs
-    m_out = view.m_out
+    m_in, m_out = view.m_in, view.m_out
+    n_trials = view.n_trials
     unit = queue.unit_capacity
+    trial_of = view.trial_of
     slot_in = np.empty(n_in, dtype=np.int64)
     slot_out = np.empty(n_out, dtype=np.int64)
     slot_key = np.empty(n_in * m_out, dtype=np.int64)
@@ -367,21 +504,111 @@ def _make_select(kernel, queue, view, instances, policies, timer, scratch):
             fids = queue.alive_fids()
             keys = queue.srcs[fids] * m_out + queue.dsts[fids] % m_out
             cand = fids[_first_occurrence_mask(keys, slot_key)]
-            return _vectorized_unit_pack(
-                cand, queue.srcs, queue.dsts, slot_in, slot_out
-            )
+            with _measure(timer, "batch_pack"):
+                return _vectorized_unit_pack(
+                    cand, queue.srcs, queue.dsts, slot_in, slot_out
+                )
 
         return select_fifo
 
-    if kernel in ("fifo", "maxcard"):
-        # These policies' fast paths are already pure functions of the
-        # queue arrays: run them directly on the merged queue.
-        driver = policies[0]
-        driver.bind_runtime(timer, scratch)
-        driver.reset(view)
-        return lambda t: driver.select_fast(t, queue, view)
+    if kernel == "maxcard" and unit:
+        # Stacked Hopcroft–Karp over the per-pair head graph.  Heads are
+        # rebuilt per round from the alive list (first waiting copy per
+        # pair, in arrival order) instead of initializing the queue's
+        # incremental pair view: the views agree — adjacency rows are
+        # kept sorted by the *current* head's (release, fid), which is
+        # exactly the alive-order first occurrence — and skipping the
+        # view keeps ``arrive``/``remove`` pure array operations.
+        warm_mode = bool(policies[0].warm_start)
+        prev_pairs: List[Dict[int, int]] = [{} for _ in range(n_trials)]
+        trial_of_left = np.repeat(
+            np.arange(n_trials, dtype=np.int64), m_in
+        )
+        trial_of_right = np.repeat(
+            np.arange(n_trials, dtype=np.int64), m_out
+        )
+        bfs_arr = hk_stats["bfs_phases"]
+        aug_arr = hk_stats["augmentations"]
+        seed_arr = hk_stats["warm_start_seeds"]
 
-    trial_of = view.trial_of
+        def select_maxcard(t: int) -> np.ndarray:
+            fids = queue.alive_fids()
+            keys = queue.srcs[fids] * m_out + queue.dsts[fids] % m_out
+            heads = fids[_first_occurrence_mask(keys, slot_key)]
+            warm = None
+            part: List[int] = []
+            if warm_mode:
+                part = np.unique(trial_of[heads]).tolist()
+                warm = {}
+                for i in part:
+                    pp = prev_pairs[i]
+                    if pp:
+                        seed_arr[i] += len(pp)
+                        warm.update(pp)
+                if not warm:
+                    warm = None
+            with _measure(timer, "batch_match"):
+                edge_left = max_cardinality_matching_batch(
+                    n_in,
+                    n_out,
+                    queue.srcs[heads],
+                    queue.dsts[heads],
+                    trial_of_left,
+                    trial_of_right,
+                    n_trials,
+                    warm_start=warm,
+                    bfs_phases=bfs_arr,
+                    augmentations=aug_arr,
+                )
+            matched_us = np.flatnonzero(edge_left >= 0)
+            chosen = heads[edge_left[matched_us]]
+            if warm_mode:
+                # Mirror the solo policy: every trial that solved this
+                # round replaces its carried pairs with this round's
+                # matching; idle trials keep theirs.
+                for i in part:
+                    prev_pairs[i] = {}
+                for u, v in zip(
+                    matched_us.tolist(), queue.dsts[chosen].tolist()
+                ):
+                    prev_pairs[u // m_in][u] = v
+            return chosen
+
+        return select_maxcard
+
+    if kernel in ("fifo", "minrtime", "maxcard"):
+        # Non-unit capacities: greedy packing in the policy's weight
+        # order.  FIFO and MinRTime share the age weight ``t - r + 1``
+        # and MaxCard packs with unit weights — in all three cases the
+        # stable descending-weight order *is* the alive list (kept
+        # sorted by (release, insertion)), so no argsort is needed.
+        def select_aged_pack(t: int) -> np.ndarray:
+            with _measure(timer, "batch_pack"):
+                return _vectorized_capacitated_pack(
+                    queue.alive_fids(), queue, view.switch
+                )
+
+        return select_aged_pack
+
+    if kernel == "maxweight":
+        # Non-unit capacities: queue-length weights.  Virtual ports are
+        # per trial, so the merged bincounts equal each trial's own, and
+        # the merged stable argsort projects to each trial's order.
+        def select_maxweight(t: int) -> np.ndarray:
+            fids = queue.alive_fids()
+            us = queue.srcs[fids]
+            vs = queue.dsts[fids]
+            w = (np.bincount(us)[us] + np.bincount(vs)[vs]).astype(
+                np.float64
+            )
+            order = np.argsort(-w, kind="stable")
+            with _measure(timer, "batch_pack"):
+                return _vectorized_capacitated_pack(
+                    fids[order], queue, view.switch
+                )
+
+        return select_maxweight
+
     if kernel == "random":
         for policy, inst in zip(policies, instances):
             policy.reset(inst)
@@ -400,18 +627,22 @@ def _make_select(kernel, queue, view, instances, policies, timer, scratch):
             for u, s, e in zip(uniq.tolist(), starts.tolist(), ends.tolist()):
                 w[order[s:e]] = rngs[u].random(e - s) + 1e-9
             pack_order = np.argsort(-w, kind="stable")
+            ordered = fids[pack_order]
             if not unit:
-                return _greedy_pack(fids, pack_order, queue, view.switch, w)
+                with _measure(timer, "batch_pack"):
+                    return _vectorized_capacitated_pack(
+                        ordered, queue, view.switch
+                    )
             # Pair-dedup by weight: only the heaviest copy of a pair can
             # be taken (earlier copies in weight order share its ports).
-            ordered = fids[pack_order]
             keys = (
                 queue.srcs[ordered] * m_out + queue.dsts[ordered] % m_out
             )
             cand = ordered[_first_occurrence_mask(keys, slot_key)]
-            return _vectorized_unit_pack(
-                cand, queue.srcs, queue.dsts, slot_in, slot_out
-            )
+            with _measure(timer, "batch_pack"):
+                return _vectorized_unit_pack(
+                    cand, queue.srcs, queue.dsts, slot_in, slot_out
+                )
 
         return select_random
 
@@ -424,7 +655,6 @@ def _make_select(kernel, queue, view, instances, policies, timer, scratch):
     vcid_of = np.concatenate(
         [cf.coflow_of + off for cf, off in zip(cfs, ncf_off[:-1].tolist())]
     )
-    m_in, m_out = view.m_in, view.m_out
     in_caps = instances[0].switch.input_capacities
     out_caps = instances[0].switch.output_capacities
     sebf = type(policies[0]) is CoflowSebfPolicy
@@ -455,7 +685,10 @@ def _make_select(kernel, queue, view, instances, policies, timer, scratch):
         else:
             prio = static_prio
         order = np.lexsort((fids, cids, prio[cids]))
-        return _greedy_pack(fids, order, queue, view.switch)
+        with _measure(timer, "batch_pack"):
+            return _vectorized_capacitated_pack(
+                fids[order], queue, view.switch
+            )
 
     return select_coflow
 
@@ -483,11 +716,17 @@ def _simulate_merged(
 
     queue = BatchFlowQueue(view)
     trial_of = view.trial_of
-    scratch: Dict[str, int] = {}
-    select = _make_select(
-        kernel, queue, view, instances, policies, timer, scratch
-    )
     track_solves = kernel == "maxcard" and queue.unit_capacity
+    hk_stats: Optional[Dict[str, np.ndarray]] = None
+    if track_solves:
+        hk_stats = {
+            "bfs_phases": np.zeros(n_trials, dtype=np.int64),
+            "augmentations": np.zeros(n_trials, dtype=np.int64),
+            "warm_start_seeds": np.zeros(n_trials, dtype=np.int64),
+        }
+    select = _make_select(
+        kernel, queue, view, instances, policies, timer, hk_stats
+    )
     policy_name = policies[0].name
 
     releases = view.releases()
@@ -503,6 +742,8 @@ def _simulate_merged(
         )
     }
 
+    feas_in = np.empty(view.switch.num_inputs, dtype=np.int64)
+    feas_out = np.empty(view.switch.num_outputs, dtype=np.int64)
     assignment = np.full(total, -1, dtype=np.int64)
     # Shadow counters: exact per-trial mirrors of each solo FlowQueue's
     # bookkeeping, maintained vectorized over the trial axis.
@@ -532,12 +773,19 @@ def _simulate_merged(
             sh_alive += cnt
         history_rows.append(sh_alive.copy())
         if track_solves:
-            # One cold Hopcroft–Karp solve per solo round with a
-            # non-empty queue.
+            # One Hopcroft–Karp solve per solo round with a non-empty
+            # queue.
             solves += sh_alive > 0
         if queue.n_alive:
-            chosen = select(t)
-            _check_feasible(chosen, queue, view.switch, policy_name, t)
+            if timer is not None:
+                sel_start = time.perf_counter()
+                chosen = select(t)
+                timer.add("batch_select", time.perf_counter() - sel_start)
+            else:
+                chosen = select(t)
+            _check_feasible_fast(
+                chosen, queue, view.switch, policy_name, t, feas_in, feas_out
+            )
             if chosen.size:
                 assignment[chosen] = t
                 queue.remove(chosen)
@@ -562,21 +810,85 @@ def _simulate_merged(
         (0, n_trials), dtype=np.int64
     )
     offsets = view.offsets
+
+    # ------------------------------------------------------------------
+    # Vectorized cross-trial finalization.  Every ScheduleMetrics field
+    # is integer-exact, so computing them over the stacked arrays (flows
+    # are contiguous per trial — reduceat segments) reproduces the
+    # per-trial ``ScheduleMetrics.of`` values bit for bit; float64
+    # bincount sums stay exact far below 2**53.
+    # ------------------------------------------------------------------
+    comp = assignment + 1
+    rho = comp - releases
+    seg = offsets[:-1]
+    tot_resp = np.add.reduceat(rho, seg)
+    max_resp = np.maximum.reduceat(rho, seg)
+    makespans = np.maximum.reduceat(comp, seg)
+    H = int(comp.max())
+    in_peak = (
+        np.bincount(
+            view.srcs() * H + assignment,
+            weights=view.demands(),
+            minlength=view.switch.num_inputs * H,
+        )
+        .reshape(view.switch.num_inputs, H)
+        .max(axis=1)
+    )
+    out_peak = (
+        np.bincount(
+            view.dsts() * H + assignment,
+            weights=view.demands(),
+            minlength=view.switch.num_outputs * H,
+        )
+        .reshape(view.switch.num_outputs, H)
+        .max(axis=1)
+    )
+    in_exc = (
+        (in_peak - view.switch.input_capacities)
+        .reshape(n_trials, view.m_in)
+        .max(axis=1)
+    )
+    out_exc = (
+        (out_peak - view.switch.output_capacities)
+        .reshape(n_trials, view.m_out)
+        .max(axis=1)
+    )
+    max_aug = np.maximum(np.maximum(in_exc, out_exc), 0).astype(np.int64)
+
     results: List[SimulationResult] = []
     for i in range(n_trials):
         rounds_i = int(rounds_of[i])
+        n_i = int(counts[i])
         sub = assignment[offsets[i] : offsets[i + 1]].copy()
         schedule = Schedule(instances[i], sub)
+        metrics = ScheduleMetrics(
+            num_flows=n_i,
+            total_response=int(tot_resp[i]),
+            average_response=int(tot_resp[i]) / n_i,
+            max_response=int(max_resp[i]),
+            makespan=int(makespans[i]),
+            max_augmentation=int(max_aug[i]),
+        )
         stats: Dict[str, int] = {
             "sim_rounds": rounds_i,
             "compactions": int(sh_comp[i]),
         }
         if track_solves:
+            # Reproduce the solo stats dict: counter keys appear only
+            # once their first bump happens.
+            if hk_stats["bfs_phases"][i]:
+                stats["bfs_phases"] = int(hk_stats["bfs_phases"][i])
             stats["matching_solves"] = int(solves[i])
+            if hk_stats["augmentations"][i]:
+                stats["augmentations"] = int(hk_stats["augmentations"][i])
+            if hk_stats["warm_start_seeds"][i]:
+                stats["warm_start_seeds"] = int(
+                    hk_stats["warm_start_seeds"][i]
+                )
         results.append(
             SimulationResult(
                 schedule,
-                ScheduleMetrics.of(schedule),
+                metrics,
                 rounds=rounds_i,
                 queue_history=history[:rounds_i, i].copy(),
                 stats=stats,

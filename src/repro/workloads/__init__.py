@@ -14,6 +14,7 @@ from repro.workloads.synthetic import (
     incast_workload,
     permutation_workload,
     poisson_uniform_workload,
+    poisson_uniform_workload_batch,
 )
 from repro.workloads.trace import (
     TRACE_SCHEMA_VERSION,
@@ -24,6 +25,7 @@ from repro.workloads.trace import (
 
 __all__ = [
     "poisson_uniform_workload",
+    "poisson_uniform_workload_batch",
     "churn_heavy_workload",
     "hotspot_workload",
     "permutation_workload",

@@ -12,7 +12,7 @@ traffic, and incast.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -51,17 +51,73 @@ def poisson_uniform_workload(
     check_positive_int(num_rounds, "num_rounds")
     if mean_arrivals <= 0:
         raise ValueError(f"mean_arrivals must be > 0, got {mean_arrivals}")
-    rng = make_rng(seed)
     switch = Switch.create(m, m, capacity)
-    flows = []
-    counts = rng.poisson(mean_arrivals, size=num_rounds)
-    for t in range(num_rounds):
-        k = int(counts[t])
-        srcs = rng.integers(0, m, size=k)
-        dsts = rng.integers(0, m, size=k)
-        for i in range(k):
-            flows.append(Flow(int(srcs[i]), int(dsts[i]), demand, t))
-    return Instance.create(switch, flows)
+    return _poisson_uniform_on(switch, mean_arrivals, num_rounds, seed, demand)
+
+
+def _poisson_uniform_on(
+    switch: Switch,
+    mean_arrivals: float,
+    num_rounds: int,
+    seed: SeedLike,
+    demand: int,
+) -> Instance:
+    """Single-seed Poisson/uniform draw onto an existing switch.
+
+    Amortized form of the original per-round loop: one Poisson vector and
+    ONE uniform block of ``2 * total`` port draws, sliced per round as
+    ``srcs_t`` then ``dsts_t``.  ``Generator.integers`` consumes the bit
+    stream element-wise, so this is draw-for-draw identical to issuing
+    ``rng.integers(0, m, size=k_t)`` twice per round — same seeds, same
+    flows, same digests as the historical generator.
+    """
+    m = switch.num_inputs
+    rng = make_rng(seed)
+    counts = rng.poisson(mean_arrivals, size=num_rounds).astype(np.int64)
+    total = int(counts.sum())
+    block = rng.integers(0, m, size=2 * total)
+    # Round t owns block[2*off_t : 2*off_t + 2*k_t]: first k_t srcs,
+    # then k_t dsts.  Build gather indices for both halves at once.
+    offsets = np.concatenate(([0], np.cumsum(counts)))[:-1]
+    within = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+    base = np.repeat(offsets, counts) * 2 + within
+    srcs = block[base]
+    dsts = block[base + counts.repeat(counts)]
+    releases = np.repeat(np.arange(num_rounds, dtype=np.int64), counts)
+    demands = np.full(total, demand, dtype=np.int64)
+    return Instance.from_arrays(switch, srcs, dsts, demands, releases)
+
+
+def poisson_uniform_workload_batch(
+    num_ports: int,
+    mean_arrivals: float,
+    num_rounds: int,
+    seeds: Sequence[SeedLike],
+    capacity: int = 1,
+    demand: int = 1,
+) -> list[Instance]:
+    """A cell of :func:`poisson_uniform_workload` trials, amortized.
+
+    Returns ``[poisson_uniform_workload(..., seed=s) for s in seeds]`` —
+    same flows, fids, and digests per trial — but shares one validated
+    :class:`Switch` across the cell and generates each trial through the
+    single-block array path, skipping the per-flow Python object churn
+    that dominates serial generation.
+
+    Each trial still consumes its *own* seeded generator (one RNG block
+    per trial, not per batch): per-trial seeds are the reproducibility
+    contract, so trial ``i`` must see the exact byte stream it would see
+    generated alone.
+    """
+    m = check_positive_int(num_ports, "num_ports")
+    check_positive_int(num_rounds, "num_rounds")
+    if mean_arrivals <= 0:
+        raise ValueError(f"mean_arrivals must be > 0, got {mean_arrivals}")
+    switch = Switch.create(m, m, capacity)
+    return [
+        _poisson_uniform_on(switch, mean_arrivals, num_rounds, seed, demand)
+        for seed in seeds
+    ]
 
 
 def hotspot_workload(

@@ -1,0 +1,218 @@
+"""Property tests: batched Hopcroft–Karp vs per-trial solo solves.
+
+`max_cardinality_matching_batch` promises *byte identity* per trial
+block with `max_cardinality_matching_adjacency` — not just equal
+cardinality but the exact same matched edges, because the online engine
+relies on identical tie-breaking to keep batched sweeps byte-identical
+to serial ones.  These tests stack random per-trial instances (with
+duplicate edges, empty trials, and warm starts) and compare matchings
+and per-trial counters against independent solo solves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matching import (
+    max_cardinality_matching_adjacency,
+    max_cardinality_matching_batch,
+)
+
+
+def _random_blocks(rng, n_trials, m_left, m_right, max_edges):
+    """Random stacked block-diagonal edge set.
+
+    Returns global (us, vs) plus per-trial local edge lists.  Edges are
+    concatenated per trial, so each left vertex's edges appear in
+    generation order — the adjacency-order contract.
+    """
+    us, vs, per_trial = [], [], []
+    for trial in range(n_trials):
+        n_edges = int(rng.integers(0, max_edges + 1))
+        lus = rng.integers(0, m_left, size=n_edges)
+        lvs = rng.integers(0, m_right, size=n_edges)
+        per_trial.append((lus, lvs))
+        us.append(lus + trial * m_left)
+        vs.append(lvs + trial * m_right)
+    return (
+        np.concatenate(us) if us else np.zeros(0, np.int64),
+        np.concatenate(vs) if vs else np.zeros(0, np.int64),
+        per_trial,
+    )
+
+
+def _solo_reference(per_trial, m_left, m_right, warm_local=None):
+    """Run each trial through the solo adjacency kernel.
+
+    Returns (per-trial {local_u: local_edge_idx}, per-trial stats).
+    Trials with zero edges are skipped, mirroring the online engine
+    (a solve is only issued for trials with alive flows).
+    """
+    matchings, stats_all = [], []
+    for trial, (lus, lvs) in enumerate(per_trial):
+        if lus.size == 0:
+            matchings.append({})
+            stats_all.append({})
+            continue
+        rows = [[] for _ in range(m_left)]
+        pays = [[] for _ in range(m_left)]
+        for ei, (u, v) in enumerate(zip(lus.tolist(), lvs.tolist())):
+            rows[u].append(v)
+            pays[u].append(ei)
+        stats: dict = {}
+        warm = warm_local[trial] if warm_local else None
+        matchings.append(
+            max_cardinality_matching_adjacency(
+                m_left, m_right, rows, pays, warm_start=warm, stats=stats
+            )
+        )
+        stats_all.append(stats)
+    return matchings, stats_all
+
+
+def _run_batch(us, vs, n_trials, m_left, m_right, warm=None):
+    bfs = np.zeros(n_trials, dtype=np.int64)
+    aug = np.zeros(n_trials, dtype=np.int64)
+    edge_left = max_cardinality_matching_batch(
+        n_trials * m_left,
+        n_trials * m_right,
+        us,
+        vs,
+        np.repeat(np.arange(n_trials), m_left),
+        np.repeat(np.arange(n_trials), m_right),
+        n_trials,
+        warm_start=warm,
+        bfs_phases=bfs,
+        augmentations=aug,
+    )
+    return edge_left, bfs, aug
+
+
+def _check_identical(edge_left, us, per_trial, matchings, stats_all,
+                     n_trials, m_left):
+    # Global edge index -> per-trial local edge index.
+    edge_base = np.cumsum([0] + [lus.size for lus, _ in per_trial])
+    for trial in range(n_trials):
+        expected = matchings[trial]
+        for lu in range(m_left):
+            gu = trial * m_left + lu
+            ge = int(edge_left[gu])
+            if lu in expected:
+                assert ge >= 0, (trial, lu)
+                assert us[ge] == gu
+                assert ge - edge_base[trial] == expected[lu], (trial, lu)
+            else:
+                assert ge == -1, (trial, lu)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_stacks_match_solo(seed):
+    rng = np.random.default_rng(seed)
+    n_trials = int(rng.integers(1, 9))
+    m_left = int(rng.integers(1, 9))
+    m_right = int(rng.integers(1, 9))
+    us, vs, per_trial = _random_blocks(rng, n_trials, m_left, m_right, 20)
+    matchings, stats_all = _solo_reference(per_trial, m_left, m_right)
+    edge_left, bfs, aug = _run_batch(us, vs, n_trials, m_left, m_right)
+    _check_identical(
+        edge_left, us, per_trial, matchings, stats_all, n_trials, m_left
+    )
+    for trial in range(n_trials):
+        assert bfs[trial] == stats_all[trial].get("bfs_phases", 0)
+        assert aug[trial] == stats_all[trial].get("augmentations", 0)
+
+
+def test_empty_trials_interleaved():
+    rng = np.random.default_rng(42)
+    n_trials, m = 6, 5
+    us, vs, per_trial = _random_blocks(rng, n_trials, m, m, 12)
+    # Force trials 1 and 4 empty.
+    keep = ~np.isin(np.repeat(np.arange(n_trials),
+                              [lus.size for lus, _ in per_trial]), [1, 4])
+    us, vs = us[keep], vs[keep]
+    per_trial = [
+        (np.zeros(0, np.int64), np.zeros(0, np.int64)) if t in (1, 4)
+        else per_trial[t]
+        for t in range(n_trials)
+    ]
+    matchings, stats_all = _solo_reference(per_trial, m, m)
+    edge_left, bfs, aug = _run_batch(us, vs, n_trials, m, m)
+    _check_identical(edge_left, us, per_trial, matchings, stats_all,
+                     n_trials, m)
+    # Empty trials were never entered: counters untouched.
+    assert bfs[1] == bfs[4] == 0
+    assert aug[1] == aug[4] == 0
+
+
+def test_all_empty_returns_unmatched():
+    edge_left, bfs, aug = _run_batch(
+        np.zeros(0, np.int64), np.zeros(0, np.int64), 3, 4, 4
+    )
+    assert (edge_left == -1).all()
+    assert (bfs == 0).all() and (aug == 0).all()
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_warm_start_matches_solo(seed):
+    """Warm seeds (valid, stale, and conflicting) validate identically."""
+    rng = np.random.default_rng(1000 + seed)
+    n_trials = int(rng.integers(1, 6))
+    m = int(rng.integers(2, 8))
+    us, vs, per_trial = _random_blocks(rng, n_trials, m, m, 16)
+
+    # Derive warm dicts from a cold solve, then corrupt some entries so
+    # validation paths (missing pair, right-vertex conflict) execute.
+    cold, _ = _solo_reference(per_trial, m, m)
+    warm_local = []
+    merged: dict = {}
+    for trial in range(n_trials):
+        lus, lvs = per_trial[trial]
+        warm = {}
+        for lu, le in cold[trial].items():
+            v = int(lvs[le])
+            if rng.random() < 0.3:
+                v = int(rng.integers(0, m))  # maybe stale / conflicting
+            warm[lu] = v
+        warm_local.append(warm or None)
+        for lu, v in warm.items():
+            merged[trial * m + lu] = trial * m + v
+    matchings, stats_all = _solo_reference(per_trial, m, m, warm_local)
+    edge_left, bfs, aug = _run_batch(us, vs, n_trials, m, m,
+                                     warm=merged or None)
+    _check_identical(edge_left, us, per_trial, matchings, stats_all,
+                     n_trials, m)
+    for trial in range(n_trials):
+        assert bfs[trial] == stats_all[trial].get("bfs_phases", 0)
+        assert aug[trial] == stats_all[trial].get("augmentations", 0)
+
+
+def test_single_trial_equals_solo_exactly():
+    rng = np.random.default_rng(7)
+    m = 12
+    lus = rng.integers(0, m, size=40)
+    lvs = rng.integers(0, m, size=40)
+    rows = [[] for _ in range(m)]
+    pays = [[] for _ in range(m)]
+    for ei, (u, v) in enumerate(zip(lus.tolist(), lvs.tolist())):
+        rows[u].append(v)
+        pays[u].append(ei)
+    stats: dict = {}
+    solo = max_cardinality_matching_adjacency(m, m, rows, pays, stats=stats)
+    edge_left, bfs, aug = _run_batch(lus, lvs, 1, m, m)
+    got = {u: int(edge_left[u]) for u in range(m) if edge_left[u] >= 0}
+    assert got == solo
+    assert bfs[0] == stats["bfs_phases"]
+    assert aug[0] == stats.get("augmentations", 0)
+
+
+def test_stats_accumulators_are_optional():
+    rng = np.random.default_rng(3)
+    us, vs, per_trial = _random_blocks(rng, 3, 4, 4, 10)
+    edge_left = max_cardinality_matching_batch(
+        12, 12, us, vs,
+        np.repeat(np.arange(3), 4), np.repeat(np.arange(3), 4), 3,
+    )
+    matchings, _ = _solo_reference(per_trial, 4, 4)
+    total = sum(len(mm) for mm in matchings)
+    assert int((edge_left >= 0).sum()) == total

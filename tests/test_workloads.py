@@ -3,11 +3,16 @@
 import numpy as np
 import pytest
 
+from repro.core.flow import Flow
+from repro.core.instance import Instance
+from repro.core.switch import Switch
+from repro.utils.rng import make_rng
 from repro.workloads.synthetic import (
     hotspot_workload,
     incast_workload,
     permutation_workload,
     poisson_uniform_workload,
+    poisson_uniform_workload_batch,
 )
 from repro.workloads.trace import (
     TRACE_SCHEMA_VERSION,
@@ -45,6 +50,124 @@ class TestPoissonUniform:
     def test_invalid_mean_rejected(self):
         with pytest.raises(ValueError):
             poisson_uniform_workload(4, 0, 2)
+
+
+def _per_round_reference(num_ports, mean, rounds, seed, capacity=1,
+                         demand=1):
+    """The historical generator: per-round ``rng.integers`` draws and
+    per-flow ``Flow`` construction.  The single-block fast path must
+    reproduce it draw-for-draw."""
+    m = num_ports
+    rng = make_rng(seed)
+    switch = Switch.create(m, m, capacity)
+    flows = []
+    counts = rng.poisson(mean, size=rounds)
+    for t in range(rounds):
+        k = int(counts[t])
+        srcs = rng.integers(0, m, size=k)
+        dsts = rng.integers(0, m, size=k)
+        for i in range(k):
+            flows.append(Flow(int(srcs[i]), int(dsts[i]), demand, t))
+    return Instance.create(switch, flows)
+
+
+class TestAmortizedGeneration:
+    """Single-block generation and ``Instance.from_arrays`` must be
+    byte-identical to the per-round / per-flow reference path — digests
+    are cache keys, so any drift silently invalidates stored sweeps."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 12345])
+    @pytest.mark.parametrize("ports,mean,rounds", [
+        (7, 3.0, 10), (24, 8.0, 15), (150, 50.0, 5),
+    ])
+    def test_single_block_matches_per_round_reference(
+        self, ports, mean, rounds, seed
+    ):
+        ref = _per_round_reference(ports, mean, rounds, seed)
+        got = poisson_uniform_workload(ports, mean, rounds, seed=seed)
+        assert got.flows == ref.flows
+        assert got.digest() == ref.digest()
+        assert got.to_dict() == ref.to_dict()
+
+    def test_capacity_demand_round_trip(self):
+        ref = _per_round_reference(6, 4.0, 8, seed=9, capacity=3, demand=2)
+        got = poisson_uniform_workload(6, 4.0, 8, seed=9, capacity=3,
+                                       demand=2)
+        assert got.flows == ref.flows
+        assert got.digest() == ref.digest()
+
+    def test_batch_matches_serial_per_seed(self):
+        seeds = [11, 22, 33, 44]
+        batch = poisson_uniform_workload_batch(16, 6.0, 12, seeds=seeds)
+        for inst, seed in zip(batch, seeds):
+            solo = poisson_uniform_workload(16, 6.0, 12, seed=seed)
+            assert inst.flows == solo.flows
+            assert inst.digest() == solo.digest()
+        # One validated switch shared across the cell.
+        assert all(inst.switch is batch[0].switch for inst in batch)
+
+    def test_batch_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            poisson_uniform_workload_batch(4, 0, 2, seeds=[1])
+        with pytest.raises(ValueError):
+            poisson_uniform_workload_batch(0, 1.0, 2, seeds=[1])
+
+    def test_from_arrays_flows_equal_create(self):
+        sw = Switch.create(4, 4, 2)
+        got = Instance.from_arrays(
+            sw,
+            np.array([0, 1, 3]),
+            np.array([2, 2, 0]),
+            np.array([2, 1, 1]),
+            np.array([0, 1, 5]),
+        )
+        want = Instance.create(
+            sw, [Flow(0, 2, 2, 0), Flow(1, 2, 1, 1), Flow(3, 0, 1, 5)]
+        )
+        assert got.flows == want.flows
+        assert got.digest() == want.digest()
+        vecs = got._vectors()
+        for a, b in zip(vecs, want._vectors()):
+            assert np.array_equal(a, b)
+            assert not a.flags.writeable
+
+    def test_from_arrays_validation_messages_match_create(self):
+        sw = Switch.create(4, 4, 2)
+        z = np.zeros(3, np.int64)
+        cases = [
+            # (arrays, equivalent flow list or flow-level error)
+            ((np.array([0, 9, 0]), z, z + 1, z),
+             "flow 1: src port 9 out of range (switch has 4 inputs)"),
+            ((z, np.array([0, 0, 7]), z + 1, z),
+             "flow 2: dst port 7 out of range (switch has 4 outputs)"),
+            ((z, z, np.array([1, 3, 1]), z),
+             "flow 1: demand 3 exceeds kappa_e = min(c_0, c_0) = 2"),
+            ((np.array([0, -1, 0]), z, z + 1, z),
+             "src must be >= 0, got -1"),
+            ((z, z, np.array([1, 0, 1]), z),
+             "demand must be >= 1, got 0"),
+            ((z, z, z + 1, np.array([0, 0, -2])),
+             "release must be >= 0, got -2"),
+        ]
+        for arrays, message in cases:
+            with pytest.raises(ValueError, match=None) as exc:
+                Instance.from_arrays(sw, *arrays)
+            assert str(exc.value) == message
+
+    def test_from_arrays_length_mismatch(self):
+        sw = Switch.create(4)
+        with pytest.raises(ValueError, match="equal length"):
+            Instance.from_arrays(
+                sw, np.zeros(2, np.int64), np.zeros(3, np.int64),
+                np.ones(2, np.int64), np.zeros(2, np.int64),
+            )
+
+    def test_from_arrays_empty(self):
+        sw = Switch.create(3)
+        empty = np.zeros(0, np.int64)
+        got = Instance.from_arrays(sw, empty, empty, empty, empty)
+        assert got.num_flows == 0
+        assert got.digest() == Instance.create(sw, []).digest()
 
 
 class TestOtherGenerators:

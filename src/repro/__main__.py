@@ -41,6 +41,11 @@ Commands
 ``bench``
     Run the script-mode benchmark suites and write committed,
     machine-normalized ``BENCH_*.json`` snapshots (``repro.bench``).
+``trace export SPANLOG OUT`` / ``trace report SPANLOG``
+    Convert a JSONL span log (from ``fig6/fig7 --trace``, ``solve
+    --trace-out``, or ``serve --trace``) to Chrome ``trace_event``
+    JSON for Perfetto / ``chrome://tracing``, or print its per-phase
+    duration table (``repro.obs``).
 """
 
 from __future__ import annotations
@@ -94,6 +99,20 @@ def _cmd_figures(args, which: str) -> int:
         raise SystemExit("error: --resume and --no-cache are mutually exclusive")
     from repro.api import SweepInterrupted
 
+    profiler = None
+    trace_arg = args.trace
+    if args.profile:
+        from repro.obs.profile import SamplingProfiler
+
+        profiler = SamplingProfiler()
+        profiler.start()
+        if trace_arg is None:
+            # Samples attribute to open spans, which only exist while a
+            # tracer is ambient: --profile without --trace runs under an
+            # in-memory tracer (no span log written).
+            from repro.obs.spans import Tracer
+
+            trace_arg = Tracer()
     try:
         sweep = run_sweep(
             config,
@@ -105,6 +124,7 @@ def _cmd_figures(args, which: str) -> int:
             verify=args.verify,
             batch_trials=args.batch_trials,
             no_batch=args.no_batch,
+            trace=trace_arg,
         )
     except SweepInterrupted as exc:
         print(f"\ninterrupted: {exc}", file=sys.stderr)
@@ -121,8 +141,21 @@ def _cmd_figures(args, which: str) -> int:
                 file=sys.stderr,
             )
         return 130  # conventional SIGINT exit status
+    finally:
+        if profiler is not None:
+            profiler.stop()
     print()
     print(render_fig6(sweep) if which == "fig6" else render_fig7(sweep))
+    if args.trace:
+        from repro.obs.export import phase_table, read_spans
+
+        print()
+        print(phase_table(read_spans(args.trace)))
+        print(f"span log written to {args.trace} "
+              f"(repro trace export {args.trace} out.json)")
+    if profiler is not None:
+        print()
+        print(profiler.report())
     return 0
 
 
@@ -194,6 +227,17 @@ def _run_on_trace(trace_path, solver_name: str, kind=None, params=None):
 
 def _cmd_solve(args) -> int:
     inst = _load_instance(args)
+    tracer = prev = root = None
+    if args.trace_out:
+        from repro.obs.export import JsonlSink
+        from repro.obs.metrics import get_registry
+        from repro.obs.spans import Tracer, activate
+
+        tracer = Tracer(
+            sink=JsonlSink(args.trace_out), metrics=get_registry()
+        )
+        prev = activate(tracer)
+        root = tracer.open("solve", attrs={"solver": args.solver})
     try:
         report = _run_on_instance(
             inst, args.solver, params=_parse_params(args.param)
@@ -206,6 +250,14 @@ def _cmd_solve(args) -> int:
         # types loses its traceback here (the aliases preserve it).
         # SystemExit from _run_on_trace passes straight through.
         raise SystemExit(f"error: {exc}")
+    finally:
+        if tracer is not None:
+            from repro.obs.spans import deactivate
+
+            tracer.close(root)
+            deactivate(prev)
+            tracer.finish()
+            print(f"span log written to {args.trace_out}")
     print(f"solver {report.solver} ({report.kind}): ", end="")
     print(report.metrics if report.metrics is not None else "infeasible")
     for name, value in sorted(report.lower_bounds.items()):
@@ -517,8 +569,12 @@ def _cmd_serve(args) -> int:
     import asyncio
     import signal
 
+    from repro.obs.metrics import get_registry
     from repro.service import BrokerConfig, SolveService
 
+    # The process-wide registry, so GET /metrics serves every series
+    # this process produced — service counters and any runner/oracle
+    # timings alike (one unified exposition).
     service = SolveService(
         args.cache_dir,
         host=args.host,
@@ -529,7 +585,9 @@ def _cmd_serve(args) -> int:
             default_timeout=args.timeout,
             verify=args.verify,
         ),
+        metrics=get_registry(),
         workers=args.workers,
+        trace=args.trace,
     )
 
     async def _serve() -> None:
@@ -580,6 +638,7 @@ def _cmd_submit(args) -> int:
             verify=args.verify,
             timeout=args.timeout,
             retries=args.retries,
+            trace=args.trace_id,
         )
     except ServiceError as exc:
         raise SystemExit(f"error: {exc}")
@@ -591,6 +650,7 @@ def _cmd_submit(args) -> int:
         f"{response.solver} via {response.source}"
         + (" (certified)" if response.certified else "")
         + f" digest={response.digest[:16]}…"
+        + (f" trace={response.trace_id}" if response.trace_id else "")
     )
     print(report.metrics if report.metrics is not None else "infeasible")
     for name, value in sorted(report.lower_bounds.items()):
@@ -602,6 +662,47 @@ def _cmd_bench(args) -> int:
     from repro.bench import main as bench_main
 
     return bench_main(args)
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.export import (
+        export_chrome_trace,
+        phase_table,
+        read_spans,
+        validate_span,
+    )
+
+    try:
+        spans = read_spans(args.spanlog)
+    except OSError as exc:
+        raise SystemExit(f"error: {exc}")
+    if not spans:
+        raise SystemExit(f"error: no spans in {args.spanlog!r}")
+    problems = [
+        f"line {i + 1}: {p}"
+        for i, s in enumerate(spans)
+        for p in validate_span(s)
+    ]
+    if problems:
+        for line in problems[:10]:
+            print(f"warning: {line}", file=sys.stderr)
+        if len(problems) > 10:
+            print(
+                f"warning: ... and {len(problems) - 10} more", file=sys.stderr
+            )
+    if args.trace_command == "export":
+        count = export_chrome_trace(spans, args.out)
+        print(
+            f"wrote {count} trace events to {args.out} "
+            "(load in Perfetto or chrome://tracing)"
+        )
+        return 0
+    if args.trace_command == "report":
+        print(phase_table(spans, limit=args.limit))
+        return 0
+    raise AssertionError(  # pragma: no cover - argparse guards
+        f"unhandled trace subcommand {args.trace_command}"
+    )
 
 
 def _write_assignment(schedule, path: str) -> None:
@@ -641,6 +742,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--report-out", default=None, metavar="FILE",
                    help="also write the full SolveReport JSON (replayable "
                         "through 'verify --report FILE')")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write a JSONL span log of the solve (inspect with "
+                        "'trace report FILE'; the positional TRACE is the "
+                        "input workload, hence the -out suffix)")
 
     p = sub.add_parser(
         "verify", help="replay work through the certificate checkers"
@@ -700,6 +805,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-batch", action="store_true",
                        help="run trials one at a time instead of batched "
                             "(results are identical either way)")
+        p.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a JSONL span log of the sweep (phase "
+                            "table printed after the figure; export with "
+                            "'trace export FILE out.json')")
+        p.add_argument("--profile", action="store_true",
+                       help="run a sampling profiler alongside the sweep "
+                            "and print its hot-stack report")
 
     p = sub.add_parser("solve-mrt",
                        help="offline Theorem 3 solver (alias of solve)")
@@ -769,6 +881,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify", action="store_true",
                    help="certify every fresh solve before it is stored "
                         "and record-check cache hits before serving them")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write a JSONL span log of every request (one "
+                        "trace ID per request, echoed in responses)")
 
     p = sub.add_parser(
         "submit", help="submit one solve to a running service"
@@ -798,6 +913,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="transport timeout per HTTP exchange, seconds")
     p.add_argument("--json", action="store_true",
                    help="print the raw protocol response")
+    p.add_argument("--trace-id", dest="trace_id", default=None,
+                   metavar="ID",
+                   help="caller trace ID for the service to adopt "
+                        "(echoed back as trace_id; correlates this "
+                        "request with the server's --trace span log)")
 
     p = sub.add_parser(
         "bench",
@@ -820,6 +940,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "committed BENCH_*.json in --out-dir (the CI "
                         "bench-gate; committed files are never rewritten)")
 
+    p = sub.add_parser(
+        "trace", help="inspect or export JSONL span logs (repro.obs)"
+    )
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+    t = tsub.add_parser(
+        "export", help="convert a span log to Chrome trace_event JSON"
+    )
+    t.add_argument("spanlog", help="JSONL span log (from a --trace run)")
+    t.add_argument("out", help="Chrome trace JSON output path")
+    t = tsub.add_parser(
+        "report", help="print a span log's per-phase duration table"
+    )
+    t.add_argument("spanlog", help="JSONL span log (from a --trace run)")
+    t.add_argument("--limit", type=_positive_int, default=None, metavar="N",
+                   help="show only the top N phases by total time")
+
     return parser
 
 
@@ -836,6 +972,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "bench": _cmd_bench,
+    "trace": _cmd_trace,
 }
 
 

@@ -51,6 +51,9 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.obs.metrics import record_store
+from repro.obs.spans import span as _obs_span
+
 
 def canonical_key(solver: str, instance_digest: str, params: dict) -> str:
     """Content address of one unit of work (hex SHA-256).
@@ -245,11 +248,16 @@ class ResultStore:
         """The stored report dict for this work, or ``None`` on a miss."""
         if not self.read_enabled:
             return None
-        report = self._index.get(canonical_key(solver, instance_digest, params))
+        with _obs_span("store_get"):
+            report = self._index.get(
+                canonical_key(solver, instance_digest, params)
+            )
         if report is None:
             self.misses += 1
+            record_store("misses")
         else:
             self.hits += 1
+            record_store("hits")
         return report
 
     def _record_line(
@@ -276,6 +284,12 @@ class ResultStore:
 
     def _append(self, lines: "list[str]") -> None:
         """One physical shard append (single flushed write) of ``lines``."""
+        with _obs_span("store_put", records=len(lines)):
+            self._append_inner(lines)
+        record_store("appends")
+        record_store("puts", len(lines))
+
+    def _append_inner(self, lines: "list[str]") -> None:
         if self._fh is None:
             # The random token makes the shard name unique per store, so
             # no writer ever appends to (and mtime-bumps) a shard left by

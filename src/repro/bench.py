@@ -114,6 +114,57 @@ def normalize(payload, baseline_seconds: float):
     return payload
 
 
+def _seconds_keys(payload, prefix: str = "") -> List[Tuple[str, str]]:
+    """Every ``*seconds`` measurement key in ``payload``: ``(path, key)``.
+
+    Mirrors :func:`normalize`'s walk exactly, so anything that would
+    grow a ``_vs_baseline`` sibling is listed.
+    """
+    found: List[Tuple[str, str]] = []
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            path = f"{prefix}.{key}" if prefix else key
+            if key.endswith("seconds"):
+                found.append((path, key))
+            else:
+                found.extend(_seconds_keys(payload[key], path))
+    elif isinstance(payload, list):
+        for i, item in enumerate(payload):
+            found.extend(_seconds_keys(item, f"{prefix}[{i}]"))
+    return found
+
+
+def assert_canonical_seconds(results, suite: str) -> None:
+    """Fail loudly when a suite emits a non-canonical ``*_seconds`` key.
+
+    Every timing field that lands in a committed snapshot must come
+    from the canonical vocabulary
+    (:data:`repro.obs.metrics.BENCH_SECONDS_KEYS`) — otherwise ad-hoc
+    names accrete in ``BENCH_*.json`` diffs, and cross-suite tooling
+    (dashboards, the regression gate's path matching) silently splits
+    one phase across several spellings.  Extend the frozen set in
+    ``repro/obs/metrics.py`` deliberately when a suite genuinely needs
+    a new measurement name.
+    """
+    from repro.obs.metrics import BENCH_SECONDS_KEYS, is_canonical_seconds_key
+
+    unknown = sorted(
+        {
+            f"{path} (key {key!r})"
+            for path, key in _seconds_keys(results)
+            if not is_canonical_seconds_key(key)
+        }
+    )
+    if unknown:
+        raise RuntimeError(
+            f"benchmark suite {suite!r} emitted non-canonical timing "
+            f"key(s): {', '.join(unknown)}; allowed names are "
+            f"{sorted(BENCH_SECONDS_KEYS)} — add the new name to "
+            "BENCH_SECONDS_KEYS in src/repro/obs/metrics.py if it is "
+            "intentional"
+        )
+
+
 def discover_suites(bench_dir: "str | Path") -> Dict[str, Path]:
     """Script-mode suites: ``bench_*.py`` files whose source defines
     ``main(``.  (A source scan, not an import — the pytest-benchmark
@@ -164,6 +215,7 @@ def run_suite(
         results = json.loads(raw_path.read_text(encoding="utf-8"))
     finally:
         raw_path.unlink(missing_ok=True)
+    assert_canonical_seconds(results, name)
     snapshot = {
         "schema_version": SNAPSHOT_SCHEMA_VERSION,
         "suite": name,

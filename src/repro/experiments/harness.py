@@ -17,10 +17,13 @@ results to the serial legacy loops.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig
 from repro.utils.timing import Timer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.spans import Tracer
 
 
 @dataclass(frozen=True)
@@ -112,6 +115,7 @@ def run_scenario_sweep(
     resume: bool = True,
     batch_trials: Optional[int] = None,
     no_batch: bool = False,
+    trace: "Optional[str | Tracer]" = None,
 ) -> Dict[str, CellResult]:
     """Sweep solvers over declarative *scenarios* instead of (M, T) cells.
 
@@ -119,8 +123,9 @@ def run_scenario_sweep(
     of ``scenarios`` (a :class:`repro.scenarios.ScenarioSpec` or its
     compact ``"name:k=v,..."`` text form) becomes one aggregated
     :class:`CellResult` over ``config.trials`` trials, keyed by the
-    spec's label.  Execution, parallelism, result caching, and trial
-    batching all reuse :meth:`repro.api.runner.Runner.run_scenarios`.
+    spec's label.  Execution, parallelism, result caching, trial
+    batching, and span tracing (``trace=<file>.jsonl``) all reuse
+    :meth:`repro.api.runner.Runner.run_scenarios`.
     """
     from repro.api.runner import Runner
 
@@ -133,6 +138,7 @@ def run_scenario_sweep(
         resume=resume,
         batch_trials=batch_trials,
         no_batch=no_batch,
+        trace=trace,
     ).run_scenarios(scenarios, solvers=solvers, verbose=verbose)
 
 
@@ -147,6 +153,7 @@ def run_sweep(
     verify: bool = False,
     batch_trials: Optional[int] = None,
     no_batch: bool = False,
+    trace: "Optional[str | Tracer]" = None,
 ) -> SweepResult:
     """Run the full Figure 6/7 sweep for ``config``.
 
@@ -174,6 +181,11 @@ def run_sweep(
         cells execute as structure-of-arrays batches by default,
         byte-identical to the serial path; ``no_batch=True`` restores
         the per-item loop.
+    trace:
+        Write a JSONL span log of the sweep to this path (see
+        :mod:`repro.obs`); phase durations also feed the shared metrics
+        registry.  A pre-built :class:`repro.obs.Tracer` is accepted in
+        place of a path (spans go to its sink, or stay in memory).
     """
     from repro.api.runner import Runner
 
@@ -187,4 +199,5 @@ def run_sweep(
         verify=verify,
         batch_trials=batch_trials,
         no_batch=no_batch,
+        trace=trace,
     ).run(verbose=verbose)

@@ -39,7 +39,6 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from contextlib import nullcontext
 from typing import ContextManager, Dict, Optional
 
 import numpy as np
@@ -48,6 +47,7 @@ from repro.core.greedy import greedy_earliest_fit
 from repro.core.instance import Instance
 from repro.core.metrics import max_response_time
 from repro.lp.solver import solve_lp
+from repro.obs.spans import span as obs_span
 from repro.utils.timing import Timer
 
 #: Entries kept per in-process cache (oldest evicted beyond this).
@@ -62,7 +62,9 @@ _CACHE_LOCK = threading.Lock()
 
 
 def _measure(timer: Optional[Timer], name: str) -> ContextManager:
-    return timer.measure(name) if timer is not None else nullcontext()
+    # With a timer the span opens through Timer.measure's obs bridge;
+    # without one an ambient span still records the phase when tracing.
+    return timer.measure(name) if timer is not None else obs_span(name)
 
 
 def _lookup(cache: OrderedDict, key: tuple):

@@ -1,0 +1,93 @@
+"""``repro.obs`` — unified tracing, metrics, and profiling.
+
+One observability substrate for the whole system:
+
+* **Spans** (:mod:`repro.obs.spans`): hierarchical timed regions with
+  deterministic path-style IDs, an ambient per-thread tracer, and a
+  picklable :class:`TraceContext` that lets multiprocessing executors
+  and service workers nest their spans under the parent's work item.
+* **Metrics** (:mod:`repro.obs.metrics`): the process-wide
+  counter/gauge/histogram registry (Prometheus text exposition) plus
+  the canonical ``repro_*_seconds`` namespace every timer event maps
+  into.
+* **Exporters** (:mod:`repro.obs.export`): JSONL span logs, Chrome
+  ``trace_event`` export for Perfetto, and the end-of-sweep phase
+  table.
+* **Profiler** (:mod:`repro.obs.profile`): a thread-based sampling
+  profiler attributing Python stacks to the innermost open span.
+
+Everything is stdlib-only and near-free when tracing is off: the
+ambient :func:`span` hook is one thread-local read.
+"""
+
+from repro.obs.export import (
+    JsonlSink,
+    SPAN_REQUIRED_KEYS,
+    chrome_trace,
+    export_chrome_trace,
+    phase_table,
+    phase_totals,
+    read_spans,
+    span_duration,
+    validate_span,
+)
+from repro.obs.metrics import (
+    BENCH_SECONDS_KEYS,
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+    is_canonical_seconds_key,
+    observe_event,
+    parse_metric,
+    record_store,
+    timer_metric,
+)
+from repro.obs.profile import SamplingProfiler
+from repro.obs.spans import (
+    SPAN_SCHEMA_VERSION,
+    TraceContext,
+    Tracer,
+    activate,
+    active_tracers,
+    current_tracer,
+    deactivate,
+    new_trace_id,
+    session,
+    span,
+    trace_context,
+)
+
+__all__ = [
+    "SPAN_SCHEMA_VERSION",
+    "SPAN_REQUIRED_KEYS",
+    "TraceContext",
+    "Tracer",
+    "JsonlSink",
+    "SamplingProfiler",
+    "MetricsRegistry",
+    "REGISTRY",
+    "BENCH_SECONDS_KEYS",
+    "DEFAULT_BUCKETS",
+    "activate",
+    "active_tracers",
+    "chrome_trace",
+    "current_tracer",
+    "deactivate",
+    "export_chrome_trace",
+    "get_registry",
+    "is_canonical_seconds_key",
+    "new_trace_id",
+    "observe_event",
+    "parse_metric",
+    "phase_table",
+    "phase_totals",
+    "read_spans",
+    "record_store",
+    "session",
+    "span",
+    "span_duration",
+    "timer_metric",
+    "trace_context",
+    "validate_span",
+]

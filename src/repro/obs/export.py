@@ -1,0 +1,291 @@
+"""Span-log exporters: JSONL sink, Chrome ``trace_event``, phase table.
+
+The on-disk format is one JSON object per line (sorted keys, no
+timestamps beyond the span's own ``start``/``end`` floats), written by
+:class:`JsonlSink` — append-only, buffered on the hot path and flushed
+every ``flush_every`` spans plus on close, so a killed run still leaves
+a readable prefix.  :func:`read_spans` / :func:`validate_span` are the
+inverse plus schema check the CI trace-smoke job runs.
+
+:func:`chrome_trace` converts a span list into the Chrome
+``trace_event`` JSON object format (complete ``"X"`` events with
+microsecond timestamps), loadable in ``chrome://tracing`` or Perfetto.
+Lanes (``tid``) are derived from the span-ID path — every work-item
+branch gets its own row — rather than OS thread IDs, which keeps the
+export deterministic and readable regardless of executor scheduling.
+
+:func:`phase_table` is the end-of-sweep attribution report: per span
+name, count / total / mean and share of the traced wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.spans import SPAN_SCHEMA_VERSION
+
+#: Keys every span record must carry (the span schema).
+SPAN_REQUIRED_KEYS = (
+    "schema", "trace", "span", "parent", "name",
+    "start", "end", "dur", "attrs",
+)
+
+
+def _plain(s: object) -> bool:
+    """True for strings that serialize to JSON as themselves in quotes."""
+    return (
+        type(s) is str and '"' not in s and "\\" not in s and s.isprintable()
+    )
+
+
+def _dump_record(r: dict) -> str:
+    """One span record as compact sorted-key JSON.
+
+    Hand-rolls the overwhelmingly common shape — the nine schema keys,
+    empty ``attrs``, plain strings — because ``json.dumps(sort_keys=
+    True)`` is the single largest per-span cost once writes are
+    buffered; anything unusual falls back to ``json.dumps`` verbatim.
+    """
+    try:
+        if len(r) == 9 and not r["attrs"]:
+            name, trace, span, parent = (
+                r["name"], r["trace"], r["span"], r["parent"]
+            )
+            if (
+                _plain(name)
+                and _plain(trace)
+                and _plain(span)
+                and (parent is None or _plain(parent))
+            ):
+                pj = "null" if parent is None else f'"{parent}"'
+                return (
+                    f'{{"attrs":{{}},"dur":{r["dur"]!r},'
+                    f'"end":{r["end"]!r},"name":"{name}","parent":{pj},'
+                    f'"schema":{r["schema"]},"span":"{span}",'
+                    f'"start":{r["start"]!r},"trace":"{trace}"}}'
+                )
+    except (KeyError, TypeError):
+        pass
+    return json.dumps(r, sort_keys=True, separators=(",", ":"))
+
+
+def span_duration(span: dict) -> float:
+    """The span's duration in seconds — the exact ``dur`` field when
+    present (older logs fall back to ``end - start``)."""
+    dur = span.get("dur")
+    if dur is not None:
+        return float(dur)
+    return max(0.0, float(span["end"]) - float(span["start"]))
+
+
+class JsonlSink:
+    """Append span records to ``path``, one JSON object per line.
+
+    Thread-safe (one lock around the buffer and file) because executor
+    threads and the main loop both emit into the same trace file.
+
+    The hot path (:meth:`write`) only appends the record to an in-memory
+    buffer; serialization and the actual file write happen every
+    ``flush_every`` records and on :meth:`close` — keeping the per-span
+    cost far below a syscall, which is what holds the traced-sweep
+    overhead gate (``BENCH_sweep.json``'s ``obs_overhead``).  A killed
+    run still leaves a readable prefix at ``flush_every`` granularity.
+    """
+
+    def __init__(self, path: str, flush_every: int = 4096):
+        self.path = str(path)
+        self._flush_every = max(1, int(flush_every))
+        self._lock = threading.Lock()
+        self._buf: List[dict] = []
+        self._fh = open(self.path, "w", encoding="utf-8")
+
+    def write(self, record: dict) -> None:
+        with self._lock:
+            if self._fh is None:
+                return
+            self._buf.append(record)
+            if len(self._buf) >= self._flush_every:
+                self._drain_locked()
+
+    def _drain_locked(self) -> None:
+        if self._buf:
+            self._fh.write(
+                "".join(_dump_record(r) + "\n" for r in self._buf)
+            )
+            self._buf.clear()
+            self._fh.flush()
+
+    def flush(self) -> None:
+        """Serialize and write any buffered records now."""
+        with self._lock:
+            if self._fh is not None:
+                self._drain_locked()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._drain_locked()
+                self._fh.close()
+                self._fh = None
+
+
+def read_spans(path: str) -> List[dict]:
+    """Load a JSONL span log back into a list of span records."""
+    spans: List[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def validate_span(obj: object) -> List[str]:
+    """Schema-check one span record; returns a list of problems
+    (empty == valid).  This is the span schema the CI smoke job and the
+    tests assert against."""
+    errors: List[str] = []
+    if not isinstance(obj, dict):
+        return [f"span record is {type(obj).__name__}, not an object"]
+    for key in SPAN_REQUIRED_KEYS:
+        if key not in obj:
+            errors.append(f"missing key: {key}")
+    if errors:
+        return errors
+    if obj["schema"] != SPAN_SCHEMA_VERSION:
+        errors.append(
+            f"schema {obj['schema']!r} != {SPAN_SCHEMA_VERSION}"
+        )
+    for key in ("trace", "span", "name"):
+        if not isinstance(obj[key], str) or not obj[key]:
+            errors.append(f"{key} must be a non-empty string")
+    if obj["parent"] is not None and not isinstance(obj["parent"], str):
+        errors.append("parent must be a string or null")
+    for key in ("start", "end", "dur"):
+        if not isinstance(obj[key], (int, float)):
+            errors.append(f"{key} must be a number")
+    if isinstance(obj["dur"], (int, float)) and obj["dur"] < 0:
+        errors.append("dur < 0")
+    if (
+        isinstance(obj["start"], (int, float))
+        and isinstance(obj["end"], (int, float))
+        and obj["end"] < obj["start"]
+    ):
+        errors.append("end < start")
+    if not isinstance(obj["attrs"], dict):
+        errors.append("attrs must be an object")
+    return errors
+
+
+def _lane(span_id: str) -> str:
+    """Chrome-trace lane for a span: its top two span-ID path segments.
+
+    Groups each work item's subtree onto one row while keeping the
+    sweep-level root spans on their own lane — deterministic across
+    executors, unlike OS thread IDs.
+    """
+    parts = span_id.split(".")
+    return ".".join(parts[:2]) if len(parts) > 1 else parts[0]
+
+
+def chrome_trace(spans: Iterable[dict]) -> dict:
+    """Convert span records to the Chrome ``trace_event`` JSON format.
+
+    Complete (``ph: "X"``) events with microsecond timestamps relative
+    to the earliest span start; load the result in ``chrome://tracing``
+    or https://ui.perfetto.dev.
+    """
+    spans = list(spans)
+    if not spans:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    t0 = min(float(s["start"]) for s in spans)
+    lanes: Dict[str, int] = {}
+    events: List[dict] = []
+    for s in spans:
+        lane = _lane(str(s["span"]))
+        tid = lanes.setdefault(lane, len(lanes))
+        args = dict(s.get("attrs") or {})
+        args["span"] = s["span"]
+        if s.get("parent") is not None:
+            args["parent"] = s["parent"]
+        events.append(
+            {
+                "name": s["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": (float(s["start"]) - t0) * 1e6,
+                "dur": span_duration(s) * 1e6,
+                "pid": 1,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    events.sort(key=lambda e: (e["tid"], e["ts"], e["name"]))
+    metadata = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": lane},
+        }
+        for lane, tid in sorted(lanes.items(), key=lambda kv: kv[1])
+    ]
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(spans: Iterable[dict], path: str) -> int:
+    """Write :func:`chrome_trace` output to ``path``; returns the number
+    of trace events written (excluding lane metadata)."""
+    doc = chrome_trace(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, sort_keys=True)
+    return sum(1 for e in doc["traceEvents"] if e.get("ph") == "X")
+
+
+def phase_totals(spans: Iterable[dict]) -> Dict[str, Tuple[int, float]]:
+    """Per span-name ``(count, total_seconds)`` aggregation."""
+    totals: Dict[str, Tuple[int, float]] = {}
+    for s in spans:
+        name = s["name"]
+        count, total = totals.get(name, (0, 0.0))
+        totals[name] = (count + 1, total + span_duration(s))
+    return totals
+
+
+def phase_table(
+    spans: Iterable[dict], limit: Optional[int] = None
+) -> str:
+    """The end-of-sweep phase-attribution table, as printable text.
+
+    One row per span name sorted by total time descending: count,
+    total, mean, and share of the traced wall clock (earliest start to
+    latest end across all spans — nested spans can sum past 100%).
+    """
+    spans = list(spans)
+    if not spans:
+        return "(no spans)"
+    wall = max(float(s["end"]) for s in spans) - min(
+        float(s["start"]) for s in spans
+    )
+    rows = sorted(
+        phase_totals(spans).items(), key=lambda kv: (-kv[1][1], kv[0])
+    )
+    if limit is not None:
+        rows = rows[:limit]
+    name_w = max(5, max(len(name) for name, _ in rows))
+    lines = [
+        f"{'phase':<{name_w}}  {'count':>7}  {'total':>10}  "
+        f"{'mean':>10}  {'%wall':>6}"
+    ]
+    for name, (count, total) in rows:
+        mean = total / count if count else 0.0
+        share = (100.0 * total / wall) if wall > 0 else 0.0
+        lines.append(
+            f"{name:<{name_w}}  {count:>7}  {total:>9.4f}s  "
+            f"{mean:>9.6f}s  {share:>5.1f}%"
+        )
+    lines.append(f"(traced wall clock: {wall:.4f}s, {len(spans)} spans)")
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Sampling profiler attributing Python stacks to open spans.
+
+A daemon thread wakes every ``interval`` seconds, walks
+``sys._current_frames()``, and records ``(innermost open span name,
+file:function)`` pairs — the cheap way to find the Python hot path
+*inside* a phase (e.g. which kernel function dominates ``batch_match``)
+without instrumenting anything.  Thread-based rather than signal-based
+so it works off the main thread and inside executors; the cost of that
+choice is that samples land on bytecode boundaries only, which is fine
+for attribution.
+
+Span attribution reads the per-thread open-span stacks of every tracer
+registered via :func:`repro.obs.spans.activate` (the ambient-session
+mirror), so samples taken in executor worker threads attribute to the
+work item those threads are inside.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.spans import Tracer, active_tracers
+
+
+class SamplingProfiler:
+    """Collect ``(span, site)`` samples from all threads periodically.
+
+    ``tracer`` pins attribution to one tracer; by default samples
+    attribute against whichever tracer is ambient on the sampled
+    thread.  Usable as a context manager::
+
+        with SamplingProfiler(interval=0.005) as prof:
+            run_sweep(...)
+        print(prof.report())
+    """
+
+    def __init__(
+        self, tracer: Optional[Tracer] = None, interval: float = 0.005
+    ):
+        self.tracer = tracer
+        self.interval = float(interval)
+        self.samples: Dict[Tuple[str, str], int] = {}
+        self.total_samples = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def _span_names(self) -> Dict[int, str]:
+        """Thread ident -> innermost open span name, across tracers."""
+        if self.tracer is not None:
+            return self.tracer.open_span_names()
+        out: Dict[int, str] = {}
+        for _, tracer in active_tracers().items():
+            out.update(tracer.open_span_names())
+        return out
+
+    def _sample_once(self) -> None:
+        own = threading.get_ident()
+        span_names = self._span_names()
+        frames = sys._current_frames()
+        with self._lock:
+            for tid, frame in frames.items():
+                if tid == own:
+                    continue
+                span = span_names.get(tid)
+                if span is None:
+                    continue
+                code = frame.f_code
+                site = f"{code.co_filename.rsplit('/', 1)[-1]}:{code.co_name}"
+                key = (span, site)
+                self.samples[key] = self.samples.get(key, 0) + 1
+                self.total_samples += 1
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._sample_once()
+            self._stop.wait(self.interval)
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+        self._thread = None
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[Tuple[str, str], int]:
+        with self._lock:
+            return dict(self.samples)
+
+    def report(self, limit: int = 20) -> str:
+        """Top ``(span, code site)`` pairs by sample count, as text."""
+        with self._lock:
+            total = self.total_samples
+            rows: List[Tuple[int, str, str]] = sorted(
+                ((n, span, site) for (span, site), n in self.samples.items()),
+                reverse=True,
+            )[:limit]
+        if not rows:
+            return "(no profiler samples)"
+        span_w = max(4, max(len(span) for _, span, _ in rows))
+        lines = [f"{'samples':>7}  {'%':>5}  {'span':<{span_w}}  site"]
+        for n, span, site in rows:
+            pct = 100.0 * n / total if total else 0.0
+            lines.append(f"{n:>7}  {pct:>4.1f}%  {span:<{span_w}}  {site}")
+        lines.append(f"({total} samples total)")
+        return "\n".join(lines)

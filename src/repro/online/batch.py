@@ -46,12 +46,12 @@ the equivalence contract.
 from __future__ import annotations
 
 import time
-from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.coflow.policies import CoflowFifoPolicy, CoflowSebfPolicy
+from repro.obs.spans import span as obs_span
 from repro.core.instance import Instance
 from repro.core.metrics import ScheduleMetrics
 from repro.core.schedule import Schedule
@@ -233,7 +233,9 @@ def _empty_result(instance: Instance) -> SimulationResult:
 
 
 def _measure(timer, name: str):
-    return timer.measure(name) if timer is not None else nullcontext()
+    # With a timer the span opens through Timer.measure's obs bridge;
+    # without one an ambient span still records the phase when tracing.
+    return timer.measure(name) if timer is not None else obs_span(name)
 
 
 def _first_occurrence_mask(keys: np.ndarray, slot: np.ndarray) -> np.ndarray:

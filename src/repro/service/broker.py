@@ -27,10 +27,13 @@ running and lands in the store for the next request.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.api.store import ResultStore, canonical_key
+from repro.obs.spans import Tracer, new_trace_id
 from repro.service.jobs import Job, JobQueue
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
@@ -88,10 +91,15 @@ class SolveBroker:
         cache_dir: "str",
         config: Optional[BrokerConfig] = None,
         metrics: Optional[ServiceMetrics] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.cache_dir = str(cache_dir)
         self.config = config or BrokerConfig()
         self.metrics = metrics or ServiceMetrics()
+        # Span collection is explicit (``Tracer.emit``) rather than
+        # ambient: concurrent requests interleave on one event-loop
+        # thread, so a thread-local span stack would mis-nest them.
+        self.tracer = tracer
         self.store = ResultStore(self.cache_dir)
         self.queue = JobQueue(self.cache_dir)
         self.pending: Dict[str, _Pending] = {}
@@ -162,7 +170,42 @@ class SolveBroker:
     # ------------------------------------------------------------------
 
     async def submit(self, request: SolveRequest) -> SolveResponse:
-        """Answer one solve request through cache → coalesce → admit."""
+        """Answer one solve request through cache → coalesce → admit.
+
+        With a tracer attached, the whole request runs under a root
+        ``request`` span on its own trace (the caller's
+        ``request.trace`` ID when given, else a fresh one), the solve
+        wait under a ``solve_wait`` child, and the executing worker's
+        spans — shipped back through the done marker — nest under the
+        request across the process boundary.  The trace ID is echoed in
+        ``SolveResponse.trace_id`` either way.
+        """
+        trace_id = request.trace or (
+            new_trace_id() if self.tracer is not None else None
+        )
+        if self.tracer is None:
+            response = await self._submit_inner(request, trace_id)
+        else:
+            start = time.time()
+            t0 = time.perf_counter()
+            response = await self._submit_inner(request, trace_id)
+            dt = time.perf_counter() - t0
+            self.tracer.emit(
+                "request", start, start + dt, "0",
+                trace_id=trace_id,
+                attrs={
+                    "solver": request.solver,
+                    "status": response.status,
+                    "source": response.source,
+                },
+            )
+        if trace_id is not None:
+            response = dataclasses.replace(response, trace_id=trace_id)
+        return response
+
+    async def _submit_inner(
+        self, request: SolveRequest, trace_id: Optional[str]
+    ) -> SolveResponse:
         cfg = self.config
         try:
             instance_dict, digest = await asyncio.to_thread(
@@ -214,6 +257,11 @@ class SolveBroker:
                 instance=instance_dict,
                 params=params,
                 verify=verify,
+                trace=(
+                    {"trace_id": trace_id, "span_id": "0"}
+                    if self.tracer is not None and trace_id is not None
+                    else None
+                ),
             )
             try:
                 await asyncio.to_thread(self.queue.enqueue, job)
@@ -232,11 +280,13 @@ class SolveBroker:
             if request.timeout is not None
             else cfg.default_timeout
         )
+        wait_wall, wait_t0 = time.time(), time.perf_counter()
         try:
             outcome = await asyncio.wait_for(
                 asyncio.shield(entry.future), timeout
             )
         except asyncio.TimeoutError:
+            self._emit_wait_span(trace_id, wait_wall, wait_t0, "timeout")
             self.metrics.counter(
                 "repro_timeouts_total",
                 help="requests that hit their wait bound",
@@ -250,9 +300,22 @@ class SolveBroker:
             )
         finally:
             entry.waiters -= 1
+        self._emit_wait_span(trace_id, wait_wall, wait_t0, "settled")
         return self._outcome_response(
             request.solver, digest, key, outcome,
             source="coalesced" if coalesced else "solved",
+        )
+
+    def _emit_wait_span(
+        self, trace_id: Optional[str], wall: float, t0: float, outcome: str
+    ) -> None:
+        """Record the ``solve_wait`` child span of one traced request."""
+        if self.tracer is None or trace_id is None:
+            return
+        dt = time.perf_counter() - t0
+        self.tracer.emit(
+            "solve_wait", wall, wall + dt, "0.1", parent_id="0",
+            trace_id=trace_id, attrs={"outcome": outcome},
         )
 
     def result(
@@ -371,6 +434,12 @@ class SolveBroker:
     def _settle(self, key: str, outcome: dict) -> None:
         entry = self.pending.pop(key, None)
         self.metrics.gauge("repro_queue_depth", float(len(self.pending)))
+        # Worker-side span records ride the done marker; fold them into
+        # this broker's trace sink (and strip them from the outcome the
+        # waiters see — spans are observability, not payload).
+        spans = outcome.pop("spans", None)
+        if spans and self.tracer is not None:
+            self.tracer.absorb(spans)
         if entry is None:
             return
         solve_seconds = (outcome.get("timings") or {}).get("solve")

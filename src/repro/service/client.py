@@ -136,6 +136,7 @@ class ServiceClient:
         timeout: Optional[float] = None,
         retries: int = 0,
         backoff: float = 1.0,
+        trace: Optional[str] = None,
     ) -> SolveResponse:
         """Submit one solve and return its ``ok`` response.
 
@@ -144,7 +145,10 @@ class ServiceClient:
         payload dict; alternatively pass ``scenario``.  With ``retries
         > 0`` overload rejections are retried up to that many times,
         sleeping the server's ``Retry-After`` (or ``backoff``) between
-        attempts.  Anything else raises :class:`ServiceError`.
+        attempts.  ``trace`` is a caller-chosen trace ID the service
+        adopts for this request's spans (echoed back as
+        ``SolveResponse.trace_id``).  Anything else raises
+        :class:`ServiceError`.
         """
         if instance is not None and hasattr(instance, "to_dict"):
             instance = instance.to_dict()
@@ -156,6 +160,7 @@ class ServiceClient:
             params=dict(params or {}),
             verify=verify,
             timeout=timeout,
+            trace=trace,
         )
         attempt = 0
         while True:

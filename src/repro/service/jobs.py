@@ -67,9 +67,14 @@ class Job:
     instance: dict
     params: Dict = field(default_factory=dict)
     verify: bool = False
+    #: Optional trace carrier (``{"trace_id": ..., "span_id": ...}``):
+    #: the broker's open request span, so the executing worker's spans
+    #: nest under the request that enqueued the job — even when that
+    #: worker is a ``--join`` process on another machine.
+    trace: Optional[Dict] = None
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "schema_version": JOB_SCHEMA_VERSION,
             "key": self.key,
             "solver": self.solver,
@@ -77,6 +82,9 @@ class Job:
             "params": dict(self.params),
             "verify": self.verify,
         }
+        if self.trace is not None:
+            out["trace"] = dict(self.trace)
+        return out
 
     @staticmethod
     def from_dict(data: dict) -> "Job":
@@ -86,12 +94,14 @@ class Job:
                 f"unsupported job schema_version {version!r} (this build "
                 f"reads version {JOB_SCHEMA_VERSION})"
             )
+        trace = data.get("trace")
         return Job(
             key=data["key"],
             solver=data["solver"],
             instance=data["instance"],
             params=dict(data.get("params", {})),
             verify=bool(data.get("verify", False)),
+            trace=dict(trace) if trace is not None else None,
         )
 
 

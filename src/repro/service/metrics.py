@@ -1,191 +1,24 @@
-"""In-process service metrics with Prometheus text-format export.
+"""Back-compat shim: the metrics registry moved to :mod:`repro.obs.metrics`.
 
-A deliberately tiny registry — counters, gauges, and fixed-bucket
-latency histograms keyed by ``(name, sorted labels)`` — rendered in the
-Prometheus exposition format (text/plain version 0.0.4) by
-:meth:`ServiceMetrics.render`, which is exactly what ``GET /metrics``
-serves.  Stdlib-only by design: the service cannot depend on a
-``prometheus_client`` the container may not have.
-
-Updates are lock-protected so the asyncio loop, the broker's reaper,
-and in-process worker threads can all feed the same registry;
-:func:`parse_metric` is the inverse used by tests and the CI smoke job
-to assert on scraped values.
+The registry started life here as the service's private Prometheus-text
+exporter; once the sweep runner and batch kernels needed the same
+namespace it was promoted to ``repro.obs``.  Everything historical
+callers imported from this module — ``ServiceMetrics``, ``parse_metric``,
+``DEFAULT_BUCKETS`` — re-exports unchanged.
 """
 
 from __future__ import annotations
 
-import math
-import threading
-from typing import Dict, List, Optional, Tuple
-
-#: Default latency buckets (seconds).  Spans sub-millisecond cache hits
-#: through multi-minute LP solves; +Inf is implicit.
-DEFAULT_BUCKETS: Tuple[float, ...] = (
-    0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 120.0,
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    ServiceMetrics,
+    parse_metric,
 )
 
-_LabelKey = Tuple[Tuple[str, str], ...]
-
-
-def _label_key(labels: Dict[str, str]) -> _LabelKey:
-    return tuple(sorted((k, str(v)) for k, v in labels.items()))
-
-
-def _escape(value: str) -> str:
-    return (
-        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
-    )
-
-
-def _render_labels(key: _LabelKey, extra: str = "") -> str:
-    parts = [f'{k}="{_escape(v)}"' for k, v in key]
-    if extra:
-        parts.append(extra)
-    return "{" + ",".join(parts) + "}" if parts else ""
-
-
-def _format_value(value: float) -> str:
-    if value == math.inf:
-        return "+Inf"
-    if float(value).is_integer():
-        return str(int(value))
-    return repr(float(value))
-
-
-class ServiceMetrics:
-    """Counter/gauge/histogram registry for one service process."""
-
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._counters: Dict[Tuple[str, _LabelKey], float] = {}
-        self._gauges: Dict[Tuple[str, _LabelKey], float] = {}
-        # histogram -> (bucket bounds, per-bucket counts, sum, count)
-        self._hists: Dict[
-            Tuple[str, _LabelKey], Tuple[Tuple[float, ...], List[int], float, int]
-        ] = {}
-        self._help: Dict[str, Tuple[str, str]] = {}  # name -> (type, help)
-
-    def _declare(self, name: str, kind: str, help_text: str) -> None:
-        if name not in self._help:
-            self._help[name] = (kind, help_text)
-
-    def counter(
-        self, name: str, amount: float = 1.0, help: str = "", **labels: str
-    ) -> None:
-        """Increment counter ``name`` (monotone; amount must be >= 0)."""
-        with self._lock:
-            self._declare(name, "counter", help)
-            key = (name, _label_key(labels))
-            self._counters[key] = self._counters.get(key, 0.0) + amount
-
-    def gauge(
-        self, name: str, value: float, help: str = "", **labels: str
-    ) -> None:
-        """Set gauge ``name`` to ``value``."""
-        with self._lock:
-            self._declare(name, "gauge", help)
-            self._gauges[(name, _label_key(labels))] = float(value)
-
-    def observe(
-        self,
-        name: str,
-        value: float,
-        help: str = "",
-        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
-        **labels: str,
-    ) -> None:
-        """Record ``value`` into histogram ``name``."""
-        with self._lock:
-            self._declare(name, "histogram", help)
-            key = (name, _label_key(labels))
-            entry = self._hists.get(key)
-            if entry is None:
-                entry = (tuple(buckets), [0] * len(buckets), 0.0, 0)
-            bounds, counts, total, n = entry
-            for i, bound in enumerate(bounds):
-                if value <= bound:
-                    counts[i] += 1
-            self._hists[key] = (bounds, counts, total + float(value), n + 1)
-
-    def value(self, name: str, **labels: str) -> float:
-        """Current counter/gauge value (0.0 when never touched)."""
-        key = (name, _label_key(labels))
-        with self._lock:
-            if key in self._counters:
-                return self._counters[key]
-            return self._gauges.get(key, 0.0)
-
-    def render(self) -> str:
-        """The registry in Prometheus exposition format (0.0.4)."""
-        with self._lock:
-            lines: List[str] = []
-            for name in sorted(self._help):
-                kind, help_text = self._help[name]
-                if help_text:
-                    lines.append(f"# HELP {name} {help_text}")
-                lines.append(f"# TYPE {name} {kind}")
-                if kind == "counter":
-                    series = self._counters
-                elif kind == "gauge":
-                    series = self._gauges
-                else:
-                    for (hname, key), entry in sorted(self._hists.items()):
-                        if hname != name:
-                            continue
-                        bounds, counts, total, n = entry
-                        for bound, count in zip(bounds, counts):
-                            le = f'le="{_format_value(bound)}"'
-                            lines.append(
-                                f"{name}_bucket{_render_labels(key, le)} "
-                                f"{count}"
-                            )
-                        inf = 'le="+Inf"'
-                        lines.append(
-                            f"{name}_bucket{_render_labels(key, inf)} {n}"
-                        )
-                        lines.append(
-                            f"{name}_sum{_render_labels(key)} "
-                            f"{_format_value(total)}"
-                        )
-                        lines.append(f"{name}_count{_render_labels(key)} {n}")
-                    continue
-                for (sname, key), value in sorted(series.items()):
-                    if sname != name:
-                        continue
-                    lines.append(
-                        f"{name}{_render_labels(key)} {_format_value(value)}"
-                    )
-            return "\n".join(lines) + "\n" if lines else ""
-
-
-def parse_metric(
-    text: str, name: str, **labels: str
-) -> Optional[float]:
-    """Read one series value back out of :meth:`ServiceMetrics.render`.
-
-    Matches ``name`` exactly and requires every given label pair to be
-    present on the series (extra labels on the line are allowed, so
-    callers can select e.g. ``endpoint="solve"`` without naming every
-    label).  Returns ``None`` when no line matches — the assertion
-    helper for tests and the CI smoke job.
-    """
-    want = [f'{k}="{_escape(str(v))}"' for k, v in labels.items()]
-    for line in text.splitlines():
-        if line.startswith("#"):
-            continue
-        head, _, value = line.rpartition(" ")
-        if not head or not value:
-            continue
-        series, brace, labelpart = head.partition("{")
-        if series != name:
-            continue
-        if brace and not labelpart.endswith("}"):
-            continue
-        body = labelpart[:-1] if brace else ""
-        if all(pair in body for pair in want):
-            try:
-                return float(value)
-            except ValueError:
-                return None
-    return None
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "ServiceMetrics",
+    "parse_metric",
+]

@@ -115,6 +115,11 @@ class SolveRequest:
     params: Dict[str, Any] = field(default_factory=dict)
     verify: bool = False
     timeout: Optional[float] = None
+    #: Optional caller trace ID (hex string): the broker adopts it for
+    #: the request's spans and echoes it back as
+    #: ``SolveResponse.trace_id``, correlating client-side traces with
+    #: service-side span logs.
+    trace: Optional[str] = None
 
     def to_dict(self) -> dict:
         out: Dict[str, Any] = {
@@ -133,6 +138,8 @@ class SolveRequest:
             out["verify"] = True
         if self.timeout is not None:
             out["timeout"] = self.timeout
+        if self.trace is not None:
+            out["trace"] = self.trace
         return out
 
     @staticmethod
@@ -151,7 +158,7 @@ class SolveRequest:
         )
         unknown = set(data) - {
             "schema_version", "solver", "instance", "scenario", "seed",
-            "params", "verify", "timeout",
+            "params", "verify", "timeout", "trace",
         }
         _require(not unknown, f"unknown request fields {sorted(unknown)}")
         solver = data.get("solver")
@@ -203,6 +210,13 @@ class SolveRequest:
                 f"{timeout!r}",
             )
             timeout = float(timeout)
+        trace = data.get("trace")
+        if trace is not None:
+            _require(
+                isinstance(trace, str) and bool(trace),
+                f"'trace' must be a non-empty trace-ID string, got "
+                f"{trace!r}",
+            )
         return SolveRequest(
             solver=solver,
             instance=dict(instance) if instance is not None else None,
@@ -213,6 +227,7 @@ class SolveRequest:
             params=dict(params),
             verify=verify,
             timeout=timeout,
+            trace=trace,
         )
 
 
@@ -224,7 +239,13 @@ RESPONSE_SOURCES = ("cache", "coalesced", "solved")
 
 @dataclass(frozen=True)
 class SolveResponse:
-    """One ``POST /solve`` (or ``GET /result``) response body."""
+    """One ``POST /solve`` (or ``GET /result``) response body.
+
+    ``trace_id`` echoes the trace this request ran under — the caller's
+    ``SolveRequest.trace`` when given, otherwise the broker-assigned ID
+    — so a client can correlate its response with the service's span
+    log and ``/metrics`` series.
+    """
 
     status: str  # "ok" | "error"
     solver: Optional[str] = None
@@ -234,6 +255,7 @@ class SolveResponse:
     certified: bool = False
     report: Optional[dict] = None
     error: Optional[ErrorInfo] = None
+    trace_id: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -257,7 +279,7 @@ class SolveResponse:
             "schema_version": PROTOCOL_VERSION,
             "status": self.status,
         }
-        for name in ("solver", "digest", "key", "source", "report"):
+        for name in ("solver", "digest", "key", "source", "report", "trace_id"):
             value = getattr(self, name)
             if value is not None:
                 out[name] = value
@@ -283,6 +305,7 @@ class SolveResponse:
             certified=bool(data.get("certified", False)),
             report=data.get("report"),
             error=ErrorInfo.from_dict(error) if error is not None else None,
+            trace_id=data.get("trace_id"),
         )
 
 

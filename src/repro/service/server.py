@@ -69,11 +69,25 @@ class SolveService:
         metrics: Optional[ServiceMetrics] = None,
         workers: int = 0,
         worker_mode: str = "process",
+        trace: Optional[str] = None,
     ):
         self.host = host
         self.port = port  # rebound to the real port once listening
         self.metrics = metrics or ServiceMetrics()
-        self.broker = SolveBroker(cache_dir, config=config, metrics=self.metrics)
+        self._tracer = None
+        if trace is not None:
+            from repro.obs.export import JsonlSink
+            from repro.obs.spans import Tracer
+
+            # One tracer for the whole service lifetime: every request
+            # gets its own trace ID inside this shared JSONL sink.
+            self._tracer = Tracer(
+                sink=JsonlSink(str(trace)), metrics=self.metrics
+            )
+        self.broker = SolveBroker(
+            cache_dir, config=config, metrics=self.metrics,
+            tracer=self._tracer,
+        )
         self.pool: Optional[WorkerPool] = (
             WorkerPool(cache_dir, workers, mode=worker_mode)
             if workers > 0
@@ -105,6 +119,8 @@ class SolveService:
             self.pool.stop()
             self.pool = None
         await self.broker.stop()
+        if self._tracer is not None:
+            self._tracer.finish()
 
     @property
     def address(self) -> str:

@@ -48,7 +48,35 @@ def execute_job(job: Job, store) -> dict:
     exceptions, bad params, verification violations — never raise: they
     become structured error outcomes for the broker to serve, and the
     worker moves on to the next job.
+
+    When ``job.trace`` carries a :class:`~repro.obs.spans.TraceContext`
+    payload, the job runs under a ``job`` span resumed from it — worker
+    spans nest under the broker's request span across the process (or
+    machine) boundary — and the collected span records ship back in the
+    outcome's ``spans`` field for the broker to absorb.
     """
+    from repro.obs.spans import TraceContext, Tracer, activate, deactivate
+
+    if job.trace is None:
+        return _run_job(job, store)
+    try:
+        ctx = TraceContext.from_dict(job.trace)
+    except (KeyError, TypeError):  # malformed carrier: run untraced
+        return _run_job(job, store)
+    tracer = Tracer(trace_id=ctx.trace_id)
+    prev = activate(tracer)
+    try:
+        with tracer.resume(ctx):
+            with tracer.span("job", id_suffix="job", solver=job.solver):
+                outcome = _run_job(job, store)
+    finally:
+        deactivate(prev)
+    outcome["spans"] = tracer.drain()
+    return outcome
+
+
+def _run_job(job: Job, store) -> dict:
+    """The traced-or-not core of :func:`execute_job`."""
     from repro.core.instance import Instance
 
     timer = Timer()

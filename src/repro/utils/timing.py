@@ -3,10 +3,19 @@
 The paper reports LP solve times (">3 hours" for the largest setting); the
 harness records per-phase runtimes with this helper so EXPERIMENTS.md can
 report paper-vs-measured runtime shape as well as objective values.
+
+Thread-safe: service worker threads and the ``repro.obs`` profiler hook
+mutate ``totals``/``counts`` concurrently, so every mutation happens
+under an internal lock.  When a ``repro.obs`` tracer is ambient on the
+measuring thread, each :meth:`Timer.measure` block also opens a span
+under the same event name and closes it with the *same*
+``perf_counter`` delta the timer recorded — which is what makes span
+sums reconcile exactly with ``SolveReport.timings``.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict
@@ -28,50 +37,110 @@ class Timer:
     totals: Dict[str, float] = field(default_factory=dict)
     counts: Dict[str, int] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
     def measure(self, name: str) -> "_TimerContext":
         """Return a context manager that adds its elapsed time to ``name``."""
         return _TimerContext(self, name)
 
     def add(self, name: str, seconds: float) -> None:
         """Record ``seconds`` against ``name`` directly."""
-        self.totals[name] = self.totals.get(name, 0.0) + seconds
-        self.counts[name] = self.counts.get(name, 0) + 1
+        with self._lock:
+            self.totals[name] = self.totals.get(name, 0.0) + seconds
+            self.counts[name] = self.counts.get(name, 0) + 1
 
     def merge(self, totals: Dict[str, float], counts: Dict[str, int]) -> None:
         """Fold another timer's ``totals``/``counts`` into this one."""
-        for name, seconds in totals.items():
-            self.totals[name] = self.totals.get(name, 0.0) + seconds
-        for name, count in counts.items():
-            self.counts[name] = self.counts.get(name, 0) + count
+        with self._lock:
+            for name, seconds in totals.items():
+                self.totals[name] = self.totals.get(name, 0.0) + seconds
+            for name, count in counts.items():
+                self.counts[name] = self.counts.get(name, 0) + count
 
     def mean(self, name: str) -> float:
         """Mean elapsed seconds per measurement of ``name``."""
-        if self.counts.get(name, 0) == 0:
-            return 0.0
-        return self.totals[name] / self.counts[name]
+        with self._lock:
+            if self.counts.get(name, 0) == 0:
+                return 0.0
+            return self.totals[name] / self.counts[name]
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Snapshot as plain data: ``{"totals": {...}, "counts": {...}}``.
+
+        The round-trip half of :meth:`from_dict` — what crosses process
+        boundaries and lands in JSON payloads.
+        """
+        with self._lock:
+            return {"totals": dict(self.totals), "counts": dict(self.counts)}
+
+    @staticmethod
+    def from_dict(data: Dict[str, Dict[str, float]]) -> "Timer":
+        """Rebuild a :class:`Timer` from :meth:`as_dict` output."""
+        return Timer(
+            totals=dict(data.get("totals", {})),
+            counts={k: int(v) for k, v in data.get("counts", {}).items()},
+        )
 
     def report(self) -> str:
         """Human-readable multi-line summary, sorted by total time."""
+        with self._lock:
+            totals = dict(self.totals)
+            counts = dict(self.counts)
         lines = []
-        for name in sorted(self.totals, key=self.totals.get, reverse=True):
+        for name in sorted(totals, key=totals.get, reverse=True):
+            count = counts.get(name, 0)
+            mean = totals[name] / count if count else 0.0
             lines.append(
-                f"{name:<30s} total={self.totals[name]:9.3f}s "
-                f"n={self.counts[name]:<6d} mean={self.mean(name):9.4f}s"
+                f"{name:<30s} total={totals[name]:9.3f}s "
+                f"n={count:<6d} mean={mean:9.4f}s"
             )
         return "\n".join(lines)
 
 
+def _current_tracer():
+    """Resolve (once) and call ``repro.obs.spans.current_tracer``.
+
+    Imported lazily to keep ``repro.utils`` free of package-level
+    dependencies, but cached so the per-measure hot path pays one
+    global read instead of a ``sys.modules`` lookup.
+    """
+    global _current_tracer
+    from repro.obs.spans import current_tracer
+
+    _current_tracer = current_tracer
+    return current_tracer()
+
+
 class _TimerContext:
-    """Context manager produced by :meth:`Timer.measure`."""
+    """Context manager produced by :meth:`Timer.measure`.
+
+    Doubles as the timer->span bridge: when a ``repro.obs`` tracer is
+    ambient, the block is also recorded as a span named after the event,
+    closed with the exact duration added to the timer.
+    """
+
+    __slots__ = ("_timer", "_name", "_start", "_tracer", "_span")
 
     def __init__(self, timer: Timer, name: str):
         self._timer = timer
         self._name = name
         self._start = 0.0
+        self._tracer = None
+        self._span = None
 
     def __enter__(self) -> "_TimerContext":
+        tracer = _current_tracer()
+        if tracer is not None:
+            self._tracer = tracer
+            self._span = tracer.open(self._name)
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc) -> None:
-        self._timer.add(self._name, time.perf_counter() - self._start)
+        elapsed = time.perf_counter() - self._start
+        self._timer.add(self._name, elapsed)
+        if self._tracer is not None:
+            self._tracer.close(self._span, duration=elapsed)
+            self._tracer = None
+            self._span = None

@@ -313,6 +313,48 @@ class TestCommands:
         assert "MaxWeight" in result.stdout
 
 
+class TestObsCommands:
+    def test_fig6_trace_writes_span_log_and_table(self, tmp_path, capsys):
+        from repro.obs import read_spans, validate_span
+
+        log = tmp_path / "sweep.jsonl"
+        assert main(["fig6", "--quick", "--no-lp", "--trace", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "span log written" in out
+        assert "%wall" in out  # per-phase attribution table
+        spans = read_spans(str(log))
+        assert spans
+        for s in spans:
+            assert validate_span(s) == []
+
+    def test_trace_export_and_report(self, tmp_path, capsys):
+        from repro.obs import JsonlSink, Tracer
+
+        log = tmp_path / "spans.jsonl"
+        tracer = Tracer(sink=JsonlSink(str(log)))
+        with tracer.span("alpha"):
+            with tracer.span("beta"):
+                pass
+        tracer.finish()
+
+        chrome = tmp_path / "spans.trace.json"
+        assert main(["trace", "export", str(log), str(chrome)]) == 0
+        assert "trace events" in capsys.readouterr().out
+        payload = json.loads(chrome.read_text())
+        names = {e.get("name") for e in payload["traceEvents"]}
+        assert {"alpha", "beta"} <= names
+
+        assert main(["trace", "report", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out and "%wall" in out
+
+    def test_fig6_profile_without_trace_still_samples(self, capsys):
+        # --profile alone must see open spans: the CLI supplies an
+        # in-memory tracer so the sampler has something to attribute to.
+        assert main(["fig6", "--quick", "--no-lp", "--profile"]) == 0
+        assert "samples total" in capsys.readouterr().out
+
+
 class TestVerifyCommand:
     def test_verify_trace_cross_checks(self, trace, capsys):
         assert main(["verify", str(trace), "--solvers", "Greedy,FS-MRT"]) == 0

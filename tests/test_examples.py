@@ -36,6 +36,7 @@ def _run(script: str, *args: str) -> subprocess.CompletedProcess:
             "CSV trace replay",
         ),
         ("service_client.py", (), "service drained and stopped"),
+        ("trace_sweep.py", (), "traced sweep complete"),
     ],
 )
 def test_example_runs(script, args, expect):
